@@ -1,0 +1,48 @@
+//! Ablation: the paper's central complexity claim. The naive grid search is
+//! `O(k·n²)`; the sorted sweep is `O(n² log n)` (k nearly free); the
+//! parallel variant divides the per-observation work across cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcv_core::cv::{cv_profile_naive, cv_profile_sorted, cv_profile_sorted_par};
+use kcv_core::grid::BandwidthGrid;
+use kcv_core::kernels::Epanechnikov;
+use kcv_data::{Dgp, PaperDgp};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cv_strategies");
+    group.sample_size(10);
+    for &n in &[200usize, 500, 1_000] {
+        let s = PaperDgp.sample(n, 42);
+        let grid = BandwidthGrid::paper_default(&s.x, 50).unwrap();
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| cv_profile_naive(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sorted", n), &n, |b, _| {
+            b.iter(|| cv_profile_sorted(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sorted_par", n), &n, |b, _| {
+            b.iter(|| cv_profile_sorted_par(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+        });
+    }
+    group.finish();
+
+    // k-scaling at fixed n: naive grows linearly in k, sorted barely moves
+    // (the Table II contrast).
+    let mut group = c.benchmark_group("cv_k_scaling");
+    group.sample_size(10);
+    let s = PaperDgp.sample(500, 43);
+    for &k in &[5usize, 50, 500] {
+        let grid = BandwidthGrid::paper_default(&s.x, k).unwrap();
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, _| {
+            b.iter(|| cv_profile_naive(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sorted", k), &k, |b, _| {
+            b.iter(|| cv_profile_sorted(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation for the KDE extension: sorted-sweep LSCV vs the naive double
+//! sum (the paper's trick carried over to density estimation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcv_core::density::{lscv_profile_naive, lscv_profile_sorted};
+use kcv_core::grid::BandwidthGrid;
+use kcv_core::kernels::{Epanechnikov, EpanechnikovConvolution};
+use kcv_data::{Dgp, PaperDgp};
+use std::hint::black_box;
+
+fn bench_lscv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kde_lscv");
+    group.sample_size(10);
+    for &n in &[200usize, 1_000] {
+        let s = PaperDgp.sample(n, 46);
+        let grid = BandwidthGrid::paper_default(&s.x, 50).unwrap();
+        group.bench_with_input(BenchmarkId::new("sorted", n), &n, |b, _| {
+            b.iter(|| {
+                lscv_profile_sorted(
+                    black_box(&s.x),
+                    &grid,
+                    &Epanechnikov,
+                    &EpanechnikovConvolution,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                lscv_profile_naive(
+                    black_box(&s.x),
+                    &grid,
+                    &Epanechnikov,
+                    &EpanechnikovConvolution,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lscv);
+criterion_main!(benches);

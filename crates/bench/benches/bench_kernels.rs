@@ -1,0 +1,32 @@
+//! Ablation: sweep cost per kernel — higher polynomial degree means more
+//! running power sums per absorbed neighbour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcv_core::cv::cv_profile_sorted;
+use kcv_core::grid::BandwidthGrid;
+use kcv_core::kernels::{Epanechnikov, Quartic, Triangular, Triweight, Uniform};
+use kcv_data::{Dgp, PaperDgp};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let s = PaperDgp.sample(500, 45);
+    let grid = BandwidthGrid::paper_default(&s.x, 50).unwrap();
+    let mut group = c.benchmark_group("kernels_sorted_sweep");
+    group.sample_size(20);
+    macro_rules! bench {
+        ($name:literal, $k:expr) => {
+            group.bench_function($name, |b| {
+                b.iter(|| cv_profile_sorted(black_box(&s.x), &s.y, &grid, &$k).unwrap())
+            });
+        };
+    }
+    bench!("uniform_deg0", Uniform);
+    bench!("triangular_deg1", Triangular);
+    bench!("epanechnikov_deg2", Epanechnikov);
+    bench!("quartic_deg4", Quartic);
+    bench!("triweight_deg6", Triweight);
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

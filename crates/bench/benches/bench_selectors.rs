@@ -1,0 +1,46 @@
+//! Ablation: grid search vs numerical optimisation vs rule of thumb —
+//! the selector-level view of Table I's Program 1 vs Program 3 contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcv_core::kernels::Epanechnikov;
+use kcv_core::select::{
+    BandwidthSelector, GridSpec, NumericCvSelector, NumericMethod, Rule, RuleOfThumbSelector,
+    SortedGridSearch,
+};
+use kcv_data::{Dgp, PaperDgp};
+use std::hint::black_box;
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selectors");
+    group.sample_size(10);
+    for &n in &[200usize, 1_000] {
+        let s = PaperDgp.sample(n, 44);
+        let grid = SortedGridSearch::new(Epanechnikov, GridSpec::PaperDefault(50));
+        group.bench_with_input(BenchmarkId::new("sorted_grid_50", n), &n, |b, _| {
+            b.iter(|| grid.select(black_box(&s.x), &s.y).unwrap().bandwidth)
+        });
+        let numeric =
+            NumericCvSelector::new(Epanechnikov, NumericMethod::NelderMead { restarts: 2 });
+        group.bench_with_input(BenchmarkId::new("numeric_nm2", n), &n, |b, _| {
+            b.iter(|| numeric.select(black_box(&s.x), &s.y).unwrap().bandwidth)
+        });
+        let rot = RuleOfThumbSelector::new(Epanechnikov, Rule::Silverman);
+        group.bench_with_input(BenchmarkId::new("rule_of_thumb", n), &n, |b, _| {
+            b.iter(|| rot.select(black_box(&s.x), &s.y).unwrap().bandwidth)
+        });
+        // The k-NN analogue: CV over 50 neighbour counts via prefix sums.
+        group.bench_with_input(BenchmarkId::new("knn_cv_50", n), &n, |b, _| {
+            b.iter(|| {
+                kcv_core::estimate::knn_cv_profile(black_box(&s.x), &s.y, 50)
+                    .unwrap()
+                    .argmin()
+                    .unwrap()
+                    .0
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

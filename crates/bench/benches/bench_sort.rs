@@ -1,0 +1,36 @@
+//! Ablation: the per-thread iterative quicksort against the standard
+//! library's sort (which the paper could not use on a GPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcv_core::sort::sort_with_aux;
+use kcv_core::util::SplitMix64;
+use std::hint::black_box;
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = SplitMix64::new(7);
+        let keys: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let aux: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        group.bench_with_input(BenchmarkId::new("iterative_quicksort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut a = aux.clone();
+                sort_with_aux(black_box(&mut k), &mut a);
+                k
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("std_sort_pairs", n), &n, |b, _| {
+            b.iter(|| {
+                let mut pairs: Vec<(f64, f64)> =
+                    keys.iter().copied().zip(aux.iter().copied()).collect();
+                pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+                black_box(pairs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

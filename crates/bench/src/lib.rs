@@ -1,0 +1,23 @@
+//! # kcv-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | artefact | binary |
+//! |---|---|
+//! | Figure 1 (run times by program and sample size, log-x) | `figure1` |
+//! | Table I (same data, tabulated) | `table1` |
+//! | Table II panels A and B (run time vs bandwidth count) | `table2` |
+//! | §IV-A/§V memory-wall and constant-cache limits | `memory_limit` |
+//! | everything above, written to `results/` | `experiments` |
+//!
+//! Criterion ablation benches live under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chart;
+pub mod programs;
+pub mod sweep;
+pub mod table;
+
+pub use programs::{run_program, Program, ProgramResult};

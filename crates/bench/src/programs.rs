@@ -1,0 +1,176 @@
+//! The four programs of the paper's §IV-C evaluation, behind one interface.
+
+use kcv_core::grid::BandwidthGrid;
+use kcv_core::kernels::Epanechnikov;
+use kcv_gpu::{select_bandwidth_gpu, GpuConfig};
+use kcv_np::{npregbw, NpRegBwOptions};
+use std::time::Instant;
+
+/// The four evaluated programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Program {
+    /// Program 1 — "Racine & Hayfield": the np-style numerical-optimisation
+    /// selector, sequential.
+    RacineHayfield,
+    /// Program 2 — "Multicore R": the same selector with the objective
+    /// evaluated across cores.
+    MulticoreR,
+    /// Program 3 — "Sequential C": the sorted-sweep grid search, one core.
+    SequentialC,
+    /// Program 4 — "CUDA on GPU": the sorted-sweep grid search on the
+    /// simulated Tesla S10.
+    CudaGpu,
+}
+
+impl Program {
+    /// All four, in the paper's order.
+    pub fn all() -> [Program; 4] {
+        [
+            Program::RacineHayfield,
+            Program::MulticoreR,
+            Program::SequentialC,
+            Program::CudaGpu,
+        ]
+    }
+
+    /// The paper's display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Program::RacineHayfield => "Racine & Hayfield",
+            Program::MulticoreR => "Multicore R",
+            Program::SequentialC => "Sequential C",
+            Program::CudaGpu => "CUDA on GPU",
+        }
+    }
+}
+
+/// One timed run of one program.
+#[derive(Debug, Clone)]
+pub struct ProgramResult {
+    /// The bandwidth the program selected.
+    pub bandwidth: f64,
+    /// The CV score it reports at that bandwidth.
+    pub score: f64,
+    /// Host wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Simulated device seconds (GPU program only): what the cost model says
+    /// the run takes on the 240-core Tesla — the number comparable to the
+    /// paper's Table I "CUDA on GPU" column when the host has few cores.
+    pub simulated_seconds: Option<f64>,
+    /// Objective evaluations (numerical programs) or grid size (grid
+    /// searches).
+    pub evaluations: usize,
+}
+
+/// Runs `program` once on `(x, y)` with a `k`-point paper-default grid
+/// (grid programs) or `nmulti` restarts (numerical programs).
+pub fn run_program(
+    program: Program,
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+    nmulti: usize,
+) -> Result<ProgramResult, String> {
+    let start = Instant::now();
+    match program {
+        Program::RacineHayfield | Program::MulticoreR => {
+            let options = NpRegBwOptions {
+                nmulti,
+                parallel: program == Program::MulticoreR,
+                ..Default::default()
+            };
+            let bw = npregbw(x, y, options).map_err(|e| e.to_string())?;
+            Ok(ProgramResult {
+                bandwidth: bw.bw,
+                score: bw.fval,
+                wall_seconds: start.elapsed().as_secs_f64(),
+                simulated_seconds: None,
+                evaluations: bw.evaluations,
+            })
+        }
+        Program::SequentialC => {
+            let grid = BandwidthGrid::paper_default(x, k).map_err(|e| e.to_string())?;
+            let profile = kcv_core::cv::cv_profile_sorted(x, y, &grid, &Epanechnikov)
+                .map_err(|e| e.to_string())?;
+            let opt = profile.argmin().map_err(|e| e.to_string())?;
+            Ok(ProgramResult {
+                bandwidth: opt.bandwidth,
+                score: opt.score,
+                wall_seconds: start.elapsed().as_secs_f64(),
+                simulated_seconds: None,
+                evaluations: k,
+            })
+        }
+        Program::CudaGpu => {
+            let grid = BandwidthGrid::paper_default(x, k).map_err(|e| e.to_string())?;
+            let run = select_bandwidth_gpu(x, y, &grid, &GpuConfig::default())
+                .map_err(|e| e.to_string())?;
+            Ok(ProgramResult {
+                bandwidth: run.bandwidth,
+                score: run.score,
+                wall_seconds: start.elapsed().as_secs_f64(),
+                simulated_seconds: Some(run.report.total_simulated_seconds),
+                evaluations: k,
+            })
+        }
+    }
+}
+
+/// Runs `program` `reps` times and returns the result with the median wall
+/// time (the paper runs each configuration five times).
+pub fn run_program_median(
+    program: Program,
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+    nmulti: usize,
+    reps: usize,
+) -> Result<ProgramResult, String> {
+    let mut runs: Vec<ProgramResult> = (0..reps.max(1))
+        .map(|_| run_program(program, x, y, k, nmulti))
+        .collect::<Result<_, _>>()?;
+    runs.sort_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds));
+    Ok(runs.swap_remove(runs.len() / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcv_data::{Dgp, PaperDgp};
+
+    #[test]
+    fn all_four_programs_agree_on_the_optimum_region() {
+        let s = PaperDgp.sample(150, 7);
+        let mut bandwidths = Vec::new();
+        for p in Program::all() {
+            let r = run_program(p, &s.x, &s.y, 50, 3).unwrap();
+            assert!(r.bandwidth > 0.0 && r.bandwidth <= 1.0, "{}: {}", p.label(), r.bandwidth);
+            bandwidths.push(r.bandwidth);
+        }
+        // §IV-C: the programs should produce "optimal bandwidths in similar
+        // ranges" on the same data.
+        let (lo, hi) = bandwidths
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        assert!(hi - lo < 0.12, "programs disagree: {bandwidths:?}");
+    }
+
+    #[test]
+    fn grid_programs_agree_exactly() {
+        let s = PaperDgp.sample(200, 8);
+        let seq = run_program(Program::SequentialC, &s.x, &s.y, 50, 1).unwrap();
+        let gpu = run_program(Program::CudaGpu, &s.x, &s.y, 50, 1).unwrap();
+        // f32 vs f64 may flip near-equal minima by at most one grid step.
+        let step = 1.0 / 50.0;
+        assert!((seq.bandwidth - gpu.bandwidth).abs() < step + 1e-9);
+        assert!(gpu.simulated_seconds.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn median_runner_returns_a_valid_run() {
+        let s = PaperDgp.sample(80, 9);
+        let r = run_program_median(Program::SequentialC, &s.x, &s.y, 10, 1, 3).unwrap();
+        assert!(r.wall_seconds >= 0.0);
+        assert_eq!(r.evaluations, 10);
+    }
+}

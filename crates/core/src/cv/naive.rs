@@ -1,0 +1,159 @@
+//! The naive `O(k·n²)` cross-validation profile: re-evaluates the full
+//! leave-one-out double sum for every candidate bandwidth.
+//!
+//! This is the reference implementation (and the only option for kernels,
+//! like the Gaussian or Cosine, that are not polynomial in `|u|`). The
+//! sorted sweep is tested against it.
+
+use super::CvProfile;
+use crate::error::{validate_bandwidth, validate_sample, Result};
+use crate::grid::BandwidthGrid;
+use crate::kernels::Kernel;
+
+/// Computes the CV profile by direct evaluation of Eqs. (1)–(2) at every
+/// grid bandwidth.
+pub fn cv_profile_naive<K: Kernel + ?Sized>(
+    x: &[f64],
+    y: &[f64],
+    grid: &BandwidthGrid,
+    kernel: &K,
+) -> Result<CvProfile> {
+    let n = validate_sample(x, y, 2)?;
+    let k = grid.len();
+    let mut scores = vec![0.0; k];
+    let mut included = vec![0usize; k];
+
+    for (m, &h) in grid.values().iter().enumerate() {
+        let (score, inc) = cv_at_bandwidth(x, y, h, kernel);
+        scores[m] = score;
+        included[m] = inc;
+    }
+
+    Ok(CvProfile { bandwidths: grid.values().to_vec(), scores, included, n })
+}
+
+/// Evaluates `CV_lc(h)` at a single bandwidth, returning the score and the
+/// number of observations with a defined leave-one-out fit.
+///
+/// This is the objective the numerical-optimisation baselines minimise.
+pub fn cv_score_single<K: Kernel + ?Sized>(x: &[f64], y: &[f64], h: f64, kernel: &K) -> (f64, usize) {
+    debug_assert!(validate_bandwidth(h).is_ok());
+    let (score, inc) = cv_at_bandwidth(x, y, h, kernel);
+    (score, inc)
+}
+
+fn cv_at_bandwidth<K: Kernel + ?Sized>(x: &[f64], y: &[f64], h: f64, kernel: &K) -> (f64, usize) {
+    let n = x.len();
+    let inv_h = 1.0 / h;
+    let mut sum_sq = 0.0;
+    let mut included = 0usize;
+    for i in 0..n {
+        let xi = x[i];
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for l in 0..n {
+            if l == i {
+                continue;
+            }
+            let w = kernel.eval((xi - x[l]) * inv_h);
+            num += y[l] * w;
+            den += w;
+        }
+        if den > 0.0 {
+            let resid = y[i] - num / den;
+            sum_sq += resid * resid;
+            included += 1;
+        }
+    }
+    (sum_sq / n as f64, included)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{NadarayaWatson, RegressionEstimator};
+    use crate::kernels::{Epanechnikov, Gaussian};
+    use crate::util::SplitMix64;
+
+    fn paper_dgp(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| 0.5 * v + 10.0 * v * v + 0.5 * rng.next_f64())
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn profile_matches_estimator_cv_score() {
+        let (x, y) = paper_dgp(60, 1);
+        let grid = BandwidthGrid::paper_default(&x, 10).unwrap();
+        let profile = cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+        for (m, &h) in grid.values().iter().enumerate() {
+            let est = NadarayaWatson::new(&x, &y, Epanechnikov, h).unwrap();
+            assert!(
+                (profile.scores[m] - est.cv_score()).abs() < 1e-12,
+                "bandwidth {h}: {} vs {}",
+                profile.scores[m],
+                est.cv_score()
+            );
+        }
+    }
+
+    #[test]
+    fn all_observations_included_with_gaussian() {
+        let (x, y) = paper_dgp(40, 2);
+        let grid = BandwidthGrid::linear(0.01, 0.5, 8).unwrap();
+        let profile = cv_profile_naive(&x, &y, &grid, &Gaussian).unwrap();
+        for &inc in &profile.included {
+            assert_eq!(inc, 40);
+        }
+    }
+
+    #[test]
+    fn tiny_bandwidth_excludes_isolated_points() {
+        let x = [0.0, 0.001, 0.5, 1.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let grid = BandwidthGrid::from_values(vec![0.01]).unwrap();
+        let profile = cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+        // Only the two nearby points have a neighbour within h = 0.01.
+        assert_eq!(profile.included[0], 2);
+    }
+
+    #[test]
+    fn cv_is_high_at_extreme_bandwidths_on_curved_truth() {
+        // CV at the domain-wide bandwidth (over-smoothing a strongly curved
+        // function) should exceed the minimum over a sensible grid.
+        let (x, y) = paper_dgp(200, 3);
+        let grid = BandwidthGrid::paper_default(&x, 50).unwrap();
+        let profile = cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+        let opt = profile.argmin().unwrap();
+        let last = *profile.scores.last().unwrap();
+        assert!(
+            opt.score < last,
+            "optimum {} should beat max-bandwidth score {last}",
+            opt.score
+        );
+        // And the optimum should not be at either grid edge for this DGP.
+        assert!(opt.index > 0 && opt.index < profile.len() - 1);
+    }
+
+    #[test]
+    fn single_score_agrees_with_profile() {
+        let (x, y) = paper_dgp(50, 4);
+        let grid = BandwidthGrid::linear(0.05, 0.8, 5).unwrap();
+        let profile = cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+        for (m, &h) in grid.values().iter().enumerate() {
+            let (s, inc) = cv_score_single(&x, &y, h, &Epanechnikov);
+            assert_eq!(s, profile.scores[m]);
+            assert_eq!(inc, profile.included[m]);
+        }
+    }
+
+    #[test]
+    fn rejects_undersized_samples() {
+        let grid = BandwidthGrid::from_values(vec![0.1]).unwrap();
+        assert!(cv_profile_naive(&[1.0], &[1.0], &grid, &Epanechnikov).is_err());
+    }
+}

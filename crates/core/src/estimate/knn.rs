@@ -1,0 +1,226 @@
+//! k-nearest-neighbour regression — the estimator the paper's §II
+//! literature review contrasts with fixed-bandwidth kernels: Creel & Zubair
+//! "use the k-nearest neighbor approach to nonparametric estimation — which
+//! is more amenable to SIMD parallelism — rather than the more common
+//! fixed-bandwidth kernel approach".
+//!
+//! Provided both as a baseline estimator and to show that the paper's
+//! incremental-sums idea transfers: after sorting each observation's
+//! leave-one-out distances once, the LOO prediction for *every* neighbour
+//! count `k` is a prefix mean of the co-sorted responses, so the full CV
+//! profile over `k = 1..n−1` costs `O(n log n)` per observation — the
+//! exact analogue of the bandwidth sweep.
+
+use crate::error::{validate_sample, Error, Result};
+use crate::sort::sort_with_aux;
+
+/// A k-nearest-neighbour regression estimator (uniform weights over the k
+/// nearest sample points by |x − Xᵢ|).
+#[derive(Debug, Clone)]
+pub struct KnnRegression<'a> {
+    x: &'a [f64],
+    y: &'a [f64],
+    k: usize,
+}
+
+impl<'a> KnnRegression<'a> {
+    /// Constructs the estimator with `k` neighbours (`1 ≤ k ≤ n`).
+    pub fn new(x: &'a [f64], y: &'a [f64], k: usize) -> Result<Self> {
+        let n = validate_sample(x, y, 1)?;
+        if k == 0 || k > n {
+            return Err(Error::InvalidGrid("k must be in 1..=n"));
+        }
+        Ok(Self { x, y, k })
+    }
+
+    /// The neighbour count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Predicts `E[Y | X = x0]` as the mean response of the k nearest
+    /// observations. Always defined (k-NN never has an empty window — the
+    /// property that makes it attractive on sparse designs).
+    pub fn predict(&self, x0: f64) -> f64 {
+        // Partial selection of the k smallest distances.
+        let mut dist: Vec<f64> = self.x.iter().map(|&xl| (x0 - xl).abs()).collect();
+        let mut yv = self.y.to_vec();
+        sort_with_aux(&mut dist, &mut yv);
+        yv[..self.k].iter().sum::<f64>() / self.k as f64
+    }
+
+    /// Leave-one-out prediction at sample point `i`.
+    pub fn loo_predict(&self, i: usize) -> Option<f64> {
+        let n = self.x.len();
+        if n < 2 || self.k > n - 1 {
+            return None;
+        }
+        let xi = self.x[i];
+        let mut dist = Vec::with_capacity(n - 1);
+        let mut yv = Vec::with_capacity(n - 1);
+        for (l, (&xl, &yl)) in self.x.iter().zip(self.y).enumerate() {
+            if l != i {
+                dist.push((xi - xl).abs());
+                yv.push(yl);
+            }
+        }
+        sort_with_aux(&mut dist, &mut yv);
+        Some(yv[..self.k].iter().sum::<f64>() / self.k as f64)
+    }
+}
+
+/// The leave-one-out CV profile over *all* neighbour counts `k = 1..=k_max`
+/// at once: per observation, one sort plus prefix sums of the co-sorted
+/// responses — the k-NN analogue of the paper's bandwidth sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnCvProfile {
+    /// Neighbour counts `1..=k_max`.
+    pub ks: Vec<usize>,
+    /// `CV(k) = (1/n) Σ (Yᵢ − ȳ_{k nearest})²`.
+    pub scores: Vec<f64>,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KnnCvProfile {
+    /// The CV-optimal neighbour count (ties → smaller k).
+    pub fn argmin(&self) -> Result<(usize, f64)> {
+        self.ks
+            .iter()
+            .zip(&self.scores)
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(&k, &s)| (k, s))
+            .ok_or(Error::NoValidBandwidth)
+    }
+}
+
+/// Computes the k-NN CV profile for `k = 1..=k_max` in
+/// `O(n·(n log n + k_max))` total.
+pub fn knn_cv_profile(x: &[f64], y: &[f64], k_max: usize) -> Result<KnnCvProfile> {
+    let n = validate_sample(x, y, 2)?;
+    let k_max = k_max.min(n - 1).max(1);
+    let mut sq_sums = vec![0.0; k_max];
+
+    let mut dist = Vec::with_capacity(n - 1);
+    let mut yv = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        let xi = x[i];
+        let yi = y[i];
+        dist.clear();
+        yv.clear();
+        for (l, (&xl, &yl)) in x.iter().zip(y).enumerate() {
+            if l != i {
+                dist.push((xi - xl).abs());
+                yv.push(yl);
+            }
+        }
+        sort_with_aux(&mut dist, &mut yv);
+        // Prefix means of the sorted responses give ĝ_{-i} for every k.
+        let mut prefix = 0.0;
+        for (k_idx, sq) in sq_sums.iter_mut().enumerate() {
+            prefix += yv[k_idx];
+            let g = prefix / (k_idx + 1) as f64;
+            let r = yi - g;
+            *sq += r * r;
+        }
+    }
+    Ok(KnnCvProfile {
+        ks: (1..=k_max).collect(),
+        scores: sq_sums.into_iter().map(|s| s / n as f64).collect(),
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    fn paper_dgp(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| 0.5 * v + 10.0 * v * v + 0.5 * rng.next_f64())
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn one_nearest_neighbour_interpolates() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [10.0, 20.0, 30.0];
+        let knn = KnnRegression::new(&x, &y, 1).unwrap();
+        assert_eq!(knn.predict(0.1), 10.0);
+        assert_eq!(knn.predict(1.9), 30.0);
+    }
+
+    #[test]
+    fn full_k_averages_everything() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 6.0];
+        let knn = KnnRegression::new(&x, &y, 4).unwrap();
+        assert!((knn.predict(1.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loo_excludes_self() {
+        let x = [0.0, 0.01, 5.0];
+        let y = [100.0, 7.0, 3.0];
+        let knn = KnnRegression::new(&x, &y, 1).unwrap();
+        // LOO at index 0: nearest other point is index 1.
+        assert_eq!(knn.loo_predict(0), Some(7.0));
+        // k = n − 1 = 2 is the LOO maximum; k = 3 is undefined LOO.
+        let knn3 = KnnRegression::new(&x, &y, 3).unwrap();
+        assert_eq!(knn3.loo_predict(0), None);
+    }
+
+    #[test]
+    fn profile_matches_direct_loo_evaluation() {
+        let (x, y) = paper_dgp(60, 601);
+        let profile = knn_cv_profile(&x, &y, 20).unwrap();
+        for &k in &[1usize, 5, 13, 20] {
+            let knn = KnnRegression::new(&x, &y, k).unwrap();
+            let direct: f64 = (0..x.len())
+                .map(|i| {
+                    let r = y[i] - knn.loo_predict(i).unwrap();
+                    r * r
+                })
+                .sum::<f64>()
+                / x.len() as f64;
+            let profiled = profile.scores[k - 1];
+            assert!(
+                (profiled - direct).abs() < 1e-10 * direct.max(1.0),
+                "k={k}: {profiled} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn cv_picks_interior_k_on_noisy_data() {
+        let (x, y) = paper_dgp(400, 602);
+        let profile = knn_cv_profile(&x, &y, 200).unwrap();
+        let (k_opt, _) = profile.argmin().unwrap();
+        assert!(k_opt > 1, "k = 1 overfits noise");
+        assert!(k_opt < 200, "k = 200 oversmooths this curvature");
+    }
+
+    #[test]
+    fn knn_never_degenerates_unlike_fixed_bandwidth() {
+        // The property Creel & Zubair exploit: isolated points still get
+        // predictions.
+        let x = [0.0, 0.1, 100.0];
+        let y = [1.0, 2.0, 3.0];
+        let knn = KnnRegression::new(&x, &y, 2).unwrap();
+        assert!(knn.predict(50.0).is_finite());
+        assert!(knn.loo_predict(2).is_some());
+    }
+
+    #[test]
+    fn validates_k() {
+        let (x, y) = paper_dgp(10, 603);
+        assert!(KnnRegression::new(&x, &y, 0).is_err());
+        assert!(KnnRegression::new(&x, &y, 11).is_err());
+        assert!(knn_cv_profile(&x, &y, 0).is_ok()); // clamped to 1
+    }
+}

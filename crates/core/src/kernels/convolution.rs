@@ -1,0 +1,145 @@
+//! Convolution kernels `K̄(u) = ∫ K(t) K(u − t) dt`.
+//!
+//! Least-squares cross-validation for kernel *density* bandwidths — the
+//! extension the paper names as a direct application of its method — needs
+//! `∫ f̂² = (1/n²h) Σ_i Σ_j K̄((X_i − X_j)/h)`. The Epanechnikov convolution
+//! is itself a polynomial in `|u|` on `|u| ≤ 2`, so the same sorted sweep
+//! applies with support radius 2.
+
+use super::{Kernel, PolynomialKernel};
+
+/// Convolution of the Epanechnikov kernel with itself:
+///
+/// `K̄(u) = (3/160)(2 − |u|)³(u² + 6|u| + 4)` for `|u| ≤ 2`,
+/// which expands to `0.6 − 0.75|u|² + 0.375|u|³ − (3/160)|u|⁵`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpanechnikovConvolution;
+
+const EPA_CONV_COEFFS: [f64; 6] = [0.6, 0.0, -0.75, 0.375, 0.0, -3.0 / 160.0];
+
+impl Kernel for EpanechnikovConvolution {
+    #[inline]
+    fn eval(&self, u: f64) -> f64 {
+        let a = u.abs();
+        if a > 2.0 {
+            return 0.0;
+        }
+        let t = 2.0 - a;
+        3.0 / 160.0 * t * t * t * (a * a + 6.0 * a + 4.0)
+    }
+    fn support(&self) -> Option<f64> {
+        Some(2.0)
+    }
+    fn roughness(&self) -> f64 {
+        // ∫ K̄² = 167/385, by direct integration of the quintic.
+        167.0 / 385.0
+    }
+    fn second_moment(&self) -> f64 {
+        // Var of sum of two independent Epanechnikov draws: 2·κ₂ = 0.4.
+        0.4
+    }
+    fn name(&self) -> &'static str {
+        "epanechnikov-convolution"
+    }
+}
+
+impl PolynomialKernel for EpanechnikovConvolution {
+    fn coeffs(&self) -> &'static [f64] {
+        &EPA_CONV_COEFFS
+    }
+    fn radius(&self) -> f64 {
+        2.0
+    }
+}
+
+/// Convolution of the Gaussian kernel with itself: the `N(0, 2)` density
+/// `K̄(u) = exp(−u²/4)/√(4π)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaussianConvolution;
+
+impl Kernel for GaussianConvolution {
+    #[inline]
+    fn eval(&self, u: f64) -> f64 {
+        (-0.25 * u * u).exp() / (4.0 * std::f64::consts::PI).sqrt()
+    }
+    fn support(&self) -> Option<f64> {
+        None
+    }
+    fn roughness(&self) -> f64 {
+        // ∫ N(0,2)² = 1/(4√π) · ∫… = 1/(2√(4π)) — density of N(0,4) at 0 … :
+        // for N(0,σ²), ∫φ² = 1/(2σ√π); here σ = √2.
+        1.0 / (2.0 * std::f64::consts::SQRT_2 * std::f64::consts::PI.sqrt())
+    }
+    fn second_moment(&self) -> f64 {
+        2.0
+    }
+    fn name(&self) -> &'static str {
+        "gaussian-convolution"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{Epanechnikov, Gaussian};
+
+    /// Numerically convolves `k` with itself at `u`.
+    fn numeric_self_convolution(k: &dyn Kernel, u: f64) -> f64 {
+        let lo = -9.0;
+        let hi = 9.0;
+        let steps = 180_000;
+        let w = (hi - lo) / steps as f64;
+        let f = |t: f64| k.eval(t) * k.eval(u - t);
+        let mut acc = 0.5 * (f(lo) + f(hi));
+        for s in 1..steps {
+            acc += f(lo + w * s as f64);
+        }
+        acc * w
+    }
+
+    #[test]
+    fn epanechnikov_convolution_matches_numeric() {
+        for &u in &[0.0, 0.3, 0.9, 1.5, 1.99, 2.5] {
+            let closed = EpanechnikovConvolution.eval(u);
+            let numeric = numeric_self_convolution(&Epanechnikov, u);
+            assert!(
+                (closed - numeric).abs() < 1e-6,
+                "at u={u}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn epanechnikov_convolution_at_zero_equals_roughness_of_epanechnikov() {
+        // K̄(0) = ∫K² = R(K) = 0.6.
+        assert!((EpanechnikovConvolution.eval(0.0) - 0.6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn epanechnikov_convolution_polynomial_matches_closed_form() {
+        for i in 0..=250 {
+            let u = i as f64 * 0.01;
+            let closed = EpanechnikovConvolution.eval(u);
+            let poly = EpanechnikovConvolution.eval_poly(u);
+            assert!((closed - poly).abs() < 1e-14, "mismatch at u={u}");
+        }
+    }
+
+    #[test]
+    fn gaussian_convolution_matches_numeric() {
+        for &u in &[0.0, 0.5, 1.0, 2.0, 3.0] {
+            let closed = GaussianConvolution.eval(u);
+            let numeric = numeric_self_convolution(&Gaussian, u);
+            assert!(
+                (closed - numeric).abs() < 1e-6,
+                "at u={u}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_convolution_at_zero() {
+        // N(0,2) density at 0 = 1/√(4π) ≈ 0.28209479
+        assert!((GaussianConvolution.eval(0.0) - 0.282_094_791_773_878_14).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! The Gaussian kernel.
+
+use super::Kernel;
+
+/// The Gaussian kernel `K(u) = φ(u) = exp(−u²/2)/√(2π)`.
+///
+/// Infinite support: every observation receives positive weight at every
+/// bandwidth, so the leave-one-out denominator never vanishes and `M(X_i)`
+/// is always 1. As the paper's footnote 1 notes, no sort is needed — but no
+/// sorted-sweep saving is available either, so cross-validation uses the
+/// naive `O(k·n²)` path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gaussian;
+
+impl Kernel for Gaussian {
+    #[inline]
+    fn eval(&self, u: f64) -> f64 {
+        const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+        INV_SQRT_2PI * (-0.5 * u * u).exp()
+    }
+    fn support(&self) -> Option<f64> {
+        None
+    }
+    fn roughness(&self) -> f64 {
+        // ∫φ² = 1/(2√π)
+        0.5 / std::f64::consts::PI.sqrt()
+    }
+    fn second_moment(&self) -> f64 {
+        1.0
+    }
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_standard_normal_density() {
+        // φ(1) ≈ 0.24197072451914337
+        assert!((Gaussian.eval(1.0) - 0.241_970_724_519_143_37).abs() < 1e-15);
+        // φ(2) ≈ 0.05399096651318806
+        assert!((Gaussian.eval(2.0) - 0.053_990_966_513_188_06).abs() < 1e-15);
+    }
+
+    #[test]
+    fn positive_far_from_origin() {
+        assert!(Gaussian.eval(8.0) > 0.0);
+    }
+}

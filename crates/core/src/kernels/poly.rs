@@ -1,0 +1,260 @@
+//! Compactly supported kernels: the five polynomial kernels that admit the
+//! sorted-sweep grid search, plus the (non-polynomial) Cosine kernel.
+
+use super::{horner, Kernel, PolynomialKernel};
+
+/// The Epanechnikov kernel `K(u) = 0.75 (1 − u²) 1{|u| ≤ 1}` — the kernel the
+/// paper implements (its Eq. 3), and the AMISE-optimal second-order kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Epanechnikov;
+
+const EPANECHNIKOV_COEFFS: [f64; 3] = [0.75, 0.0, -0.75];
+
+impl Kernel for Epanechnikov {
+    #[inline]
+    fn eval(&self, u: f64) -> f64 {
+        if u.abs() > 1.0 {
+            0.0
+        } else {
+            0.75 * (1.0 - u * u)
+        }
+    }
+    fn support(&self) -> Option<f64> {
+        Some(1.0)
+    }
+    fn roughness(&self) -> f64 {
+        0.6
+    }
+    fn second_moment(&self) -> f64 {
+        0.2
+    }
+    fn name(&self) -> &'static str {
+        "epanechnikov"
+    }
+}
+
+impl PolynomialKernel for Epanechnikov {
+    fn coeffs(&self) -> &'static [f64] {
+        &EPANECHNIKOV_COEFFS
+    }
+}
+
+/// The Uniform (box) kernel `K(u) = 0.5 · 1{|u| ≤ 1}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Uniform;
+
+const UNIFORM_COEFFS: [f64; 1] = [0.5];
+
+impl Kernel for Uniform {
+    #[inline]
+    fn eval(&self, u: f64) -> f64 {
+        if u.abs() > 1.0 {
+            0.0
+        } else {
+            0.5
+        }
+    }
+    fn support(&self) -> Option<f64> {
+        Some(1.0)
+    }
+    fn roughness(&self) -> f64 {
+        0.5
+    }
+    fn second_moment(&self) -> f64 {
+        1.0 / 3.0
+    }
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+impl PolynomialKernel for Uniform {
+    fn coeffs(&self) -> &'static [f64] {
+        &UNIFORM_COEFFS
+    }
+}
+
+/// The Triangular kernel `K(u) = (1 − |u|) 1{|u| ≤ 1}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Triangular;
+
+const TRIANGULAR_COEFFS: [f64; 2] = [1.0, -1.0];
+
+impl Kernel for Triangular {
+    #[inline]
+    fn eval(&self, u: f64) -> f64 {
+        let a = u.abs();
+        if a > 1.0 {
+            0.0
+        } else {
+            1.0 - a
+        }
+    }
+    fn support(&self) -> Option<f64> {
+        Some(1.0)
+    }
+    fn roughness(&self) -> f64 {
+        2.0 / 3.0
+    }
+    fn second_moment(&self) -> f64 {
+        1.0 / 6.0
+    }
+    fn name(&self) -> &'static str {
+        "triangular"
+    }
+}
+
+impl PolynomialKernel for Triangular {
+    fn coeffs(&self) -> &'static [f64] {
+        &TRIANGULAR_COEFFS
+    }
+}
+
+/// The Quartic (biweight) kernel `K(u) = (15/16)(1 − u²)² 1{|u| ≤ 1}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Quartic;
+
+const QUARTIC_COEFFS: [f64; 5] = [15.0 / 16.0, 0.0, -30.0 / 16.0, 0.0, 15.0 / 16.0];
+
+impl Kernel for Quartic {
+    #[inline]
+    fn eval(&self, u: f64) -> f64 {
+        if u.abs() > 1.0 {
+            return 0.0;
+        }
+        let t = 1.0 - u * u;
+        15.0 / 16.0 * t * t
+    }
+    fn support(&self) -> Option<f64> {
+        Some(1.0)
+    }
+    fn roughness(&self) -> f64 {
+        5.0 / 7.0
+    }
+    fn second_moment(&self) -> f64 {
+        1.0 / 7.0
+    }
+    fn name(&self) -> &'static str {
+        "quartic"
+    }
+}
+
+impl PolynomialKernel for Quartic {
+    fn coeffs(&self) -> &'static [f64] {
+        &QUARTIC_COEFFS
+    }
+}
+
+/// The Triweight kernel `K(u) = (35/32)(1 − u²)³ 1{|u| ≤ 1}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Triweight;
+
+const TRIWEIGHT_COEFFS: [f64; 7] = [
+    35.0 / 32.0,
+    0.0,
+    -105.0 / 32.0,
+    0.0,
+    105.0 / 32.0,
+    0.0,
+    -35.0 / 32.0,
+];
+
+impl Kernel for Triweight {
+    #[inline]
+    fn eval(&self, u: f64) -> f64 {
+        if u.abs() > 1.0 {
+            return 0.0;
+        }
+        let t = 1.0 - u * u;
+        35.0 / 32.0 * t * t * t
+    }
+    fn support(&self) -> Option<f64> {
+        Some(1.0)
+    }
+    fn roughness(&self) -> f64 {
+        350.0 / 429.0
+    }
+    fn second_moment(&self) -> f64 {
+        1.0 / 9.0
+    }
+    fn name(&self) -> &'static str {
+        "triweight"
+    }
+}
+
+impl PolynomialKernel for Triweight {
+    fn coeffs(&self) -> &'static [f64] {
+        &TRIWEIGHT_COEFFS
+    }
+}
+
+/// The Cosine kernel `K(u) = (π/4) cos(πu/2) 1{|u| ≤ 1}`.
+///
+/// Compactly supported but *not* a polynomial in `|u|`, so it uses the naive
+/// cross-validation path (a useful stress case for the generic fallback).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cosine;
+
+impl Kernel for Cosine {
+    #[inline]
+    fn eval(&self, u: f64) -> f64 {
+        if u.abs() > 1.0 {
+            0.0
+        } else {
+            std::f64::consts::FRAC_PI_4 * (std::f64::consts::FRAC_PI_2 * u).cos()
+        }
+    }
+    fn support(&self) -> Option<f64> {
+        Some(1.0)
+    }
+    fn roughness(&self) -> f64 {
+        std::f64::consts::PI * std::f64::consts::PI / 16.0
+    }
+    fn second_moment(&self) -> f64 {
+        1.0 - 8.0 / (std::f64::consts::PI * std::f64::consts::PI)
+    }
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+/// Evaluates any polynomial kernel through its coefficient representation —
+/// a convenience for generic code paths and tests.
+pub fn eval_via_coeffs<K: PolynomialKernel>(kernel: &K, u: f64) -> f64 {
+    let a = u.abs();
+    if a > kernel.radius() {
+        0.0
+    } else {
+        horner(kernel.coeffs(), a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_via_coeffs_agrees_for_epanechnikov() {
+        for i in 0..=100 {
+            let u = -1.2 + i as f64 * 0.024;
+            assert!((eval_via_coeffs(&Epanechnikov, u) - Epanechnikov.eval(u)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn triweight_peak_value() {
+        assert!((Triweight.eval(0.0) - 35.0 / 32.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quartic_zero_at_support_edge() {
+        assert_eq!(Quartic.eval(1.0), 0.0);
+        assert_eq!(Quartic.eval(-1.0), 0.0);
+    }
+
+    #[test]
+    fn cosine_peak_and_edge() {
+        assert!((Cosine.eval(0.0) - std::f64::consts::FRAC_PI_4).abs() < 1e-15);
+        assert!(Cosine.eval(1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,86 @@
+//! # kcv-core — optimal bandwidth selection for kernel regression
+//!
+//! Core library of the `kernelcv` workspace: a Rust reproduction of
+//! *"Optimal Bandwidth Selection for Kernel Regression Using a Fast Grid
+//! Search and a GPU"* (Rohlfs & Zahran, IPPS 2017).
+//!
+//! The paper's problem: pick the smoothing bandwidth `h` of a
+//! Nadaraya–Watson kernel regression by minimising the leave-one-out
+//! cross-validation score
+//!
+//! ```text
+//! CV_lc(h) = (1/n) Σ_i (Y_i − ĝ_{-i}(X_i))² M(X_i)
+//! ```
+//!
+//! over a grid of candidates — reliably (no numerical optimisation on a
+//! non-concave surface) and fast (a sorting trick turns the `O(k·n²)` grid
+//! search into `O(n² log n)`, and the per-observation work is SPMD-parallel).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kcv_core::prelude::*;
+//!
+//! // The paper's data-generating process.
+//! let mut rng = kcv_core::util::SplitMix64::new(7);
+//! let x: Vec<f64> = (0..200).map(|_| rng.next_f64()).collect();
+//! let y: Vec<f64> = x.iter()
+//!     .map(|&v| 0.5 * v + 10.0 * v * v + 0.5 * rng.next_f64())
+//!     .collect();
+//!
+//! // Sorted grid search over 50 bandwidths (paper defaults), in parallel.
+//! let selector = SortedGridSearch::parallel(Epanechnikov, GridSpec::PaperDefault(50));
+//! let selection = selector.select(&x, &y).unwrap();
+//! assert!(selection.bandwidth > 0.0 && selection.bandwidth <= 1.0);
+//!
+//! // Fit the regression at the selected bandwidth.
+//! let fit = NadarayaWatson::new(&x, &y, Epanechnikov, selection.bandwidth).unwrap();
+//! let g_half = fit.predict(0.5).unwrap();
+//! assert!((g_half - (0.5 * 0.5 + 10.0 * 0.25 + 0.25)).abs() < 0.5);
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`kernels`] — Epanechnikov (the paper's), Uniform, Triangular,
+//!   Quartic, Triweight, Cosine, Gaussian; convolution kernels for KDE-LSCV.
+//! * [`sort`] — the iterative quicksort (explicit stack, co-sorted
+//!   auxiliary array) the paper runs per GPU thread.
+//! * [`grid`] — bandwidth grids with the paper's defaults and the §IV-A
+//!   zoom refinement.
+//! * [`estimate`] — Nadaraya–Watson and local-linear estimators with
+//!   leave-one-out variants; plus the k-NN baseline (§II's Creel & Zubair
+//!   contrast) and a linear-binning accelerator.
+//! * [`cv`] — the CV profile: naive `O(k·n²)`, sorted `O(n² log n)`, and
+//!   rayon-parallel (SPMD) strategies; local-constant and local-linear.
+//! * [`select`] — grid-search, numerical-optimisation (np-style), and
+//!   rule-of-thumb selectors behind one trait.
+//! * [`density`] — KDE + least-squares CV bandwidths (paper's named
+//!   extension) using the same sorted sweep.
+//! * [`ci`] — leave-one-out cross-validated confidence bands (paper's named
+//!   extension).
+//! * [`multi`] — multivariate product-kernel regression (paper's §I grid
+//!   "or matrix" remark).
+//! * [`bootstrap`] — pairs-bootstrap bands and bandwidth-stability
+//!   diagnostics.
+//! * [`diagnostics`] — fit quality summaries used by tests and benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bootstrap;
+pub mod ci;
+pub mod cv;
+pub mod density;
+pub mod diagnostics;
+pub mod error;
+pub mod estimate;
+pub mod grid;
+pub mod kernels;
+pub mod multi;
+pub mod select;
+pub mod sort;
+pub mod util;
+
+pub mod prelude;
+
+pub use error::{Error, Result};

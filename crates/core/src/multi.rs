@@ -1,0 +1,376 @@
+//! Multivariate kernel regression with product kernels — a forward-looking
+//! extension ("an evenly-spaced grid or matrix in multivariate contexts",
+//! §I). The weight of observation `l` at point `x` is
+//! `Π_j K((x_j − X_lj)/h_j)` with one bandwidth per regressor.
+//!
+//! Full per-dimension grid search is `O(kᵈ·n²)`; following common practice
+//! the selector here searches over a *scalar multiplier* of a per-dimension
+//! rule-of-thumb base vector, which keeps the grid one-dimensional while
+//! still adapting every coordinate's scale.
+
+use crate::error::{Error, Result};
+use crate::kernels::Kernel;
+use crate::select::rule_of_thumb::silverman_bandwidth;
+
+/// Multivariate product-kernel Nadaraya–Watson estimator.
+#[derive(Debug, Clone)]
+pub struct MultiNadarayaWatson<'a, K: Kernel> {
+    columns: &'a [Vec<f64>],
+    y: &'a [f64],
+    kernel: K,
+    bandwidths: Vec<f64>,
+}
+
+impl<'a, K: Kernel> MultiNadarayaWatson<'a, K> {
+    /// Constructs the estimator from `d` regressor columns (each of length
+    /// `n`), responses, and a per-dimension bandwidth vector.
+    pub fn new(
+        columns: &'a [Vec<f64>],
+        y: &'a [f64],
+        kernel: K,
+        bandwidths: Vec<f64>,
+    ) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(Error::DimensionMismatch { expected: 1, found: 0 });
+        }
+        let n = y.len();
+        if n < 2 {
+            return Err(Error::SampleTooSmall { n, required: 2 });
+        }
+        for col in columns {
+            if col.len() != n {
+                return Err(Error::LengthMismatch { x_len: col.len(), y_len: n });
+            }
+            if let Some(i) = col.iter().position(|v| !v.is_finite()) {
+                return Err(Error::NonFiniteData { which: "x", index: i });
+            }
+        }
+        if bandwidths.len() != columns.len() {
+            return Err(Error::DimensionMismatch {
+                expected: columns.len(),
+                found: bandwidths.len(),
+            });
+        }
+        for &h in &bandwidths {
+            crate::error::validate_bandwidth(h)?;
+        }
+        Ok(Self { columns, y, kernel, bandwidths })
+    }
+
+    /// Number of regressors `d`.
+    pub fn dim(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of observations `n`.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the sample is empty (cannot occur through the constructor).
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Product-kernel weight of observation `l` at `point`.
+    fn weight(&self, point: &[f64], l: usize) -> f64 {
+        let mut w = 1.0;
+        for (j, col) in self.columns.iter().enumerate() {
+            w *= self.kernel.eval((point[j] - col[l]) / self.bandwidths[j]);
+            if w == 0.0 {
+                return 0.0;
+            }
+        }
+        w
+    }
+
+    /// Predicts `E[Y | X = point]`; `None` on zero weight mass.
+    pub fn predict(&self, point: &[f64]) -> Result<Option<f64>> {
+        if point.len() != self.dim() {
+            return Err(Error::DimensionMismatch { expected: self.dim(), found: point.len() });
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for l in 0..self.len() {
+            let w = self.weight(point, l);
+            num += self.y[l] * w;
+            den += w;
+        }
+        Ok((den > 0.0).then(|| num / den))
+    }
+
+    /// Leave-one-out prediction at sample point `i`.
+    pub fn loo_predict(&self, i: usize) -> Option<f64> {
+        assert!(i < self.len(), "loo index {i} out of bounds");
+        let point: Vec<f64> = self.columns.iter().map(|c| c[i]).collect();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for l in 0..self.len() {
+            if l == i {
+                continue;
+            }
+            let w = self.weight(&point, l);
+            num += self.y[l] * w;
+            den += w;
+        }
+        (den > 0.0).then(|| num / den)
+    }
+
+    /// The CV score `(1/n) Σ (Y_i − ĝ_{-i})² M_i` for this bandwidth vector.
+    pub fn cv_score(&self) -> f64 {
+        let n = self.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            if let Some(g) = self.loo_predict(i) {
+                let r = self.y[i] - g;
+                sum += r * r;
+            }
+        }
+        sum / n as f64
+    }
+}
+
+/// Result of the scalar-multiplier multivariate bandwidth search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSelection {
+    /// The selected per-dimension bandwidths.
+    pub bandwidths: Vec<f64>,
+    /// The scalar multiplier applied to the base vector.
+    pub multiplier: f64,
+    /// The CV score at the optimum.
+    pub score: f64,
+}
+
+/// Selects per-dimension bandwidths by grid-searching a scalar multiplier
+/// `c ∈ [c_min, c_max]` of the per-dimension Silverman base vector.
+pub fn select_multiplier_grid<K: Kernel + Clone>(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    kernel: &K,
+    multipliers: &[f64],
+) -> Result<MultiSelection> {
+    if multipliers.is_empty() {
+        return Err(Error::InvalidGrid("empty multiplier grid"));
+    }
+    let base: Vec<f64> = columns
+        .iter()
+        .map(|col| silverman_bandwidth(col, kernel))
+        .collect::<Result<_>>()?;
+    let mut best: Option<MultiSelection> = None;
+    for &c in multipliers {
+        if !(c.is_finite() && c > 0.0) {
+            return Err(Error::InvalidGrid("multipliers must be finite and positive"));
+        }
+        let hs: Vec<f64> = base.iter().map(|&b| b * c).collect();
+        let est = MultiNadarayaWatson::new(columns, y, kernel.clone(), hs.clone())?;
+        let score = est.cv_score();
+        // Skip multipliers that exclude everyone (score exactly 0 with no
+        // included observations would otherwise win spuriously).
+        let included = (0..y.len()).filter(|&i| est.loo_predict(i).is_some()).count();
+        if included == 0 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| score < b.score) {
+            best = Some(MultiSelection { bandwidths: hs, multiplier: c, score });
+        }
+    }
+    best.ok_or(Error::NoValidBandwidth)
+}
+
+/// Selects per-dimension bandwidths over the *full* Cartesian grid — the
+/// "evenly-spaced grid or matrix in multivariate contexts" of the paper's
+/// §I. Cost is `O(kᵈ·n²)`, so this is practical for small `d` and `k`;
+/// the grid points are evaluated in parallel with rayon.
+pub fn select_full_grid<K: Kernel + Clone + Sync>(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    kernel: &K,
+    per_dim_grids: &[Vec<f64>],
+) -> Result<MultiSelection> {
+    use rayon::prelude::*;
+    if per_dim_grids.len() != columns.len() {
+        return Err(Error::DimensionMismatch {
+            expected: columns.len(),
+            found: per_dim_grids.len(),
+        });
+    }
+    let mut total = 1usize;
+    for g in per_dim_grids {
+        if g.is_empty() {
+            return Err(Error::InvalidGrid("empty per-dimension grid"));
+        }
+        if g.iter().any(|&h| !(h.is_finite() && h > 0.0)) {
+            return Err(Error::InvalidGrid("bandwidths must be finite and positive"));
+        }
+        total = total
+            .checked_mul(g.len())
+            .ok_or(Error::InvalidGrid("grid product overflows"))?;
+    }
+    if total > 1_000_000 {
+        return Err(Error::InvalidGrid("full grid exceeds 1e6 points; use the multiplier search"));
+    }
+
+    // Enumerate the Cartesian product by mixed-radix decoding of an index.
+    let decode = |mut idx: usize| -> Vec<f64> {
+        let mut hs = Vec::with_capacity(per_dim_grids.len());
+        for g in per_dim_grids {
+            hs.push(g[idx % g.len()]);
+            idx /= g.len();
+        }
+        hs
+    };
+
+    let best = (0..total)
+        .into_par_iter()
+        .map(|idx| {
+            let hs = decode(idx);
+            let est = MultiNadarayaWatson::new(columns, y, kernel.clone(), hs.clone())
+                .expect("validated inputs");
+            let included = (0..y.len()).filter(|&i| est.loo_predict(i).is_some()).count();
+            (hs, est.cv_score(), included)
+        })
+        .filter(|(_, _, included)| *included > 0)
+        .min_by(|a, b| a.1.total_cmp(&b.1));
+
+    match best {
+        Some((bandwidths, score, _)) => Ok(MultiSelection { bandwidths, multiplier: f64::NAN, score }),
+        None => Err(Error::NoValidBandwidth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{Epanechnikov, Gaussian};
+    use crate::util::SplitMix64;
+
+    fn dgp2(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let x1: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let x2: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let y: Vec<f64> = x1
+            .iter()
+            .zip(&x2)
+            .map(|(&a, &b)| a + 2.0 * b * b + 0.1 * rng.next_f64())
+            .collect();
+        (vec![x1, x2], y)
+    }
+
+    #[test]
+    fn constant_response_recovered() {
+        let (cols, _) = dgp2(50, 101);
+        let y = vec![7.0; 50];
+        let est = MultiNadarayaWatson::new(&cols, &y, Gaussian, vec![0.3, 0.3]).unwrap();
+        let g = est.predict(&[0.5, 0.5]).unwrap().unwrap();
+        assert!((g - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn univariate_case_matches_scalar_estimator() {
+        use crate::estimate::{NadarayaWatson, RegressionEstimator};
+        let mut rng = SplitMix64::new(102);
+        let x: Vec<f64> = (0..60).map(|_| rng.next_f64()).collect();
+        let y: Vec<f64> = x.iter().map(|&v| v * v + rng.next_f64() * 0.1).collect();
+        let cols = vec![x.clone()];
+        let multi = MultiNadarayaWatson::new(&cols, &y, Epanechnikov, vec![0.2]).unwrap();
+        let scalar = NadarayaWatson::new(&x, &y, Epanechnikov, 0.2).unwrap();
+        for &p in &[0.1, 0.5, 0.9] {
+            let a = multi.predict(&[p]).unwrap();
+            let b = scalar.predict(p);
+            match (a, b) {
+                (Some(ga), Some(gb)) => assert!((ga - gb).abs() < 1e-12),
+                (None, None) => {}
+                other => panic!("disagreement at {p}: {other:?}"),
+            }
+        }
+        assert!((multi.cv_score() - scalar.cv_score()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_tracks_truth_on_smooth_surface() {
+        let (cols, y) = dgp2(800, 103);
+        let est = MultiNadarayaWatson::new(&cols, &y, Gaussian, vec![0.07, 0.07]).unwrap();
+        let truth = |a: f64, b: f64| a + 2.0 * b * b + 0.05;
+        for &(a, b) in &[(0.3, 0.3), (0.5, 0.7), (0.7, 0.2)] {
+            let g = est.predict(&[a, b]).unwrap().unwrap();
+            assert!((g - truth(a, b)).abs() < 0.15, "at ({a},{b}): {g} vs {}", truth(a, b));
+        }
+    }
+
+    #[test]
+    fn multiplier_search_finds_interior_optimum() {
+        let (cols, y) = dgp2(200, 104);
+        let multipliers: Vec<f64> = (1..=20).map(|i| i as f64 * 0.25).collect();
+        let sel = select_multiplier_grid(&cols, &y, &Epanechnikov, &multipliers).unwrap();
+        assert_eq!(sel.bandwidths.len(), 2);
+        assert!(sel.score.is_finite() && sel.score >= 0.0);
+        // The optimum should beat the extremes of the multiplier grid.
+        let at = |c: f64| {
+            let base: Vec<f64> = cols
+                .iter()
+                .map(|col| silverman_bandwidth(col, &Epanechnikov).unwrap() * c)
+                .collect();
+            MultiNadarayaWatson::new(&cols, &y, Epanechnikov, base).unwrap().cv_score()
+        };
+        assert!(sel.score <= at(0.25) + 1e-12);
+        assert!(sel.score <= at(5.0) + 1e-12);
+    }
+
+    #[test]
+    fn full_grid_beats_or_matches_the_multiplier_search() {
+        // The full Cartesian grid explores strictly more bandwidth vectors
+        // than the scalar-multiplier path built on the same values.
+        let (cols, y) = dgp2(120, 106);
+        let g1: Vec<f64> = (1..=6).map(|i| i as f64 * 0.05).collect();
+        let g2 = g1.clone();
+        let full = select_full_grid(&cols, &y, &Gaussian, &[g1.clone(), g2]).unwrap();
+        assert_eq!(full.bandwidths.len(), 2);
+        // Any single point of the grid can't beat the full-grid optimum.
+        for &h1 in &g1 {
+            for &h2 in &g1 {
+                let est =
+                    MultiNadarayaWatson::new(&cols, &y, Gaussian, vec![h1, h2]).unwrap();
+                assert!(full.score <= est.cv_score() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn full_grid_can_pick_anisotropic_bandwidths() {
+        // Truth varies fast in x2 (quadratic ×2) and slowly in x1: the
+        // selected h2 should not exceed h1.
+        let (cols, y) = dgp2(400, 107);
+        let grid: Vec<f64> = (1..=8).map(|i| i as f64 * 0.04).collect();
+        let sel = select_full_grid(&cols, &y, &Gaussian, &[grid.clone(), grid]).unwrap();
+        assert!(
+            sel.bandwidths[1] <= sel.bandwidths[0] + 0.04,
+            "expected tighter smoothing along the curved dimension: {:?}",
+            sel.bandwidths
+        );
+    }
+
+    #[test]
+    fn full_grid_validates_inputs() {
+        let (cols, y) = dgp2(30, 108);
+        assert!(select_full_grid(&cols, &y, &Gaussian, &[vec![0.1]]).is_err());
+        assert!(select_full_grid(&cols, &y, &Gaussian, &[vec![0.1], vec![]]).is_err());
+        assert!(select_full_grid(&cols, &y, &Gaussian, &[vec![0.1], vec![-0.1]]).is_err());
+        let huge: Vec<f64> = (1..=1_001).map(|i| i as f64 * 1e-3).collect();
+        assert!(select_full_grid(&cols, &y, &Gaussian, &[huge.clone(), huge]).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let (cols, y) = dgp2(30, 105);
+        assert!(MultiNadarayaWatson::new(&cols, &y, Gaussian, vec![0.1]).is_err());
+        let est = MultiNadarayaWatson::new(&cols, &y, Gaussian, vec![0.1, 0.1]).unwrap();
+        assert!(est.predict(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn empty_columns_rejected() {
+        let y = vec![1.0, 2.0];
+        let cols: Vec<Vec<f64>> = vec![];
+        assert!(MultiNadarayaWatson::new(&cols, &y, Gaussian, vec![]).is_err());
+    }
+}

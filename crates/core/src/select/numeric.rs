@@ -1,0 +1,388 @@
+//! Numerical-optimisation bandwidth selection — the approach the paper
+//! argues against.
+//!
+//! Li & Racine note the CV minimisation "can be solved using any standard
+//! numerical optimization procedure", but the objective is not concave, so
+//! optimisers converge to whatever local minimum their start (or bracket)
+//! leads them to. The R `np` package (the paper's Program 1 benchmark) uses
+//! derivative-free search with optional random restarts (`nmulti`). This
+//! module reimplements that behaviour; `kcv-np` wraps it in an R-like API.
+
+use super::{BandwidthSelector, Selection};
+use crate::cv::cv_score_single;
+use crate::error::{Error, Result};
+use crate::kernels::Kernel;
+use crate::util::{min_max, SplitMix64};
+
+/// Penalty returned when a candidate bandwidth leaves every observation
+/// without a defined leave-one-out fit (mirrors np's large-value penalty).
+const DEGENERATE_PENALTY: f64 = f64::MAX / 4.0;
+
+/// Which derivative-free optimiser to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericMethod {
+    /// Golden-section search over the full `[h_min, h_max]` bracket.
+    /// Deterministic, but only guaranteed for unimodal objectives.
+    GoldenSection,
+    /// One-dimensional Nelder–Mead (reflect/expand/contract on a two-point
+    /// simplex) from `restarts` random starting values — the np default
+    /// shape (`nmulti` restarts).
+    NelderMead {
+        /// Number of random restarts.
+        restarts: usize,
+    },
+}
+
+/// Result of a scalar minimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarMin {
+    /// Argmin found.
+    pub x: f64,
+    /// Objective value at the argmin.
+    pub fx: f64,
+    /// Number of objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Golden-section search for the minimum of `f` on `[lo, hi]`.
+///
+/// Converges to a local minimum for any continuous `f`; to the global
+/// minimum only when `f` is unimodal on the bracket.
+pub fn golden_section_min(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> ScalarMin {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut a = lo;
+    let mut b = hi;
+    let mut evals = 0usize;
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    evals += 2;
+    for _ in 0..max_iter {
+        if (b - a).abs() <= tol {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+        evals += 1;
+    }
+    if fc < fd {
+        ScalarMin { x: c, fx: fc, evaluations: evals }
+    } else {
+        ScalarMin { x: d, fx: fd, evaluations: evals }
+    }
+}
+
+/// One-dimensional Nelder–Mead on `[lo, hi]` from starting point `x0` with
+/// initial step `step`. Out-of-bounds proposals are clamped to the bracket.
+pub fn nelder_mead_1d(
+    mut f: impl FnMut(f64) -> f64,
+    x0: f64,
+    step: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> ScalarMin {
+    let clamp = |v: f64| v.clamp(lo, hi);
+    let mut best = clamp(x0);
+    let mut second = clamp(x0 + step);
+    let mut fb = f(best);
+    let mut fs = f(second);
+    let mut evals = 2usize;
+    if fs < fb {
+        std::mem::swap(&mut best, &mut second);
+        std::mem::swap(&mut fb, &mut fs);
+    }
+    for _ in 0..max_iter {
+        if (second - best).abs() <= tol {
+            break;
+        }
+        // Reflect the worst point through the best.
+        let reflected = clamp(best + (best - second));
+        let fr = f(reflected);
+        evals += 1;
+        if fr < fb {
+            // Try expanding further.
+            let expanded = clamp(best + 2.0 * (best - second));
+            let fe = f(expanded);
+            evals += 1;
+            second = best;
+            fs = fb;
+            if fe < fr {
+                best = expanded;
+                fb = fe;
+            } else {
+                best = reflected;
+                fb = fr;
+            }
+        } else if fr < fs {
+            second = reflected;
+            fs = fr;
+        } else {
+            // Contract towards the best point.
+            let contracted = clamp(best + 0.5 * (second - best));
+            let fc = f(contracted);
+            evals += 1;
+            if fc < fs {
+                second = contracted;
+                fs = fc;
+            } else {
+                // Shrink.
+                second = clamp(best + 0.25 * (second - best));
+                fs = f(second);
+                evals += 1;
+            }
+        }
+        if fs < fb {
+            std::mem::swap(&mut best, &mut second);
+            std::mem::swap(&mut fb, &mut fs);
+        }
+    }
+    ScalarMin { x: best, fx: fb, evaluations: evals }
+}
+
+/// Bandwidth selector that numerically minimises the naive `O(n²)`-per-
+/// evaluation CV objective — the algorithmic content of the paper's
+/// Programs 1 and 2 (`kcv-np` adds the R-flavoured interface on top).
+#[derive(Debug, Clone)]
+pub struct NumericCvSelector<K: Kernel> {
+    kernel: K,
+    method: NumericMethod,
+    tol: f64,
+    max_iter: usize,
+    seed: u64,
+}
+
+impl<K: Kernel> NumericCvSelector<K> {
+    /// Creates a selector with the given optimiser.
+    pub fn new(kernel: K, method: NumericMethod) -> Self {
+        Self { kernel, method, tol: 1e-6, max_iter: 200, seed: 0x5EED }
+    }
+
+    /// Sets the convergence tolerance (bracket / simplex width).
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the per-start iteration budget.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Seeds the random restarts (Nelder–Mead only).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The bracket `[domain/1000, domain]` used for the search.
+    fn bracket(x: &[f64]) -> Result<(f64, f64)> {
+        let (lo, hi) = min_max(x).ok_or(Error::SampleTooSmall { n: 0, required: 2 })?;
+        let domain = hi - lo;
+        if domain <= 0.0 {
+            return Err(Error::DegenerateDomain);
+        }
+        Ok((domain / 1000.0, domain))
+    }
+}
+
+impl<K: Kernel> BandwidthSelector for NumericCvSelector<K> {
+    fn select(&self, x: &[f64], y: &[f64]) -> Result<Selection> {
+        crate::error::validate_sample(x, y, 2)?;
+        let (lo, hi) = Self::bracket(x)?;
+        let mut total_evals = 0usize;
+        let objective = |h: f64, evals: &mut usize| {
+            *evals += 1;
+            let (score, included) = cv_score_single(x, y, h, &self.kernel);
+            if included == 0 {
+                DEGENERATE_PENALTY
+            } else {
+                score
+            }
+        };
+
+        let best = match self.method {
+            NumericMethod::GoldenSection => {
+                let r = golden_section_min(
+                    |h| objective(h, &mut total_evals),
+                    lo,
+                    hi,
+                    self.tol * (hi - lo),
+                    self.max_iter,
+                );
+                ScalarMin { evaluations: total_evals, ..r }
+            }
+            NumericMethod::NelderMead { restarts } => {
+                let mut rng = SplitMix64::new(self.seed);
+                let mut best: Option<ScalarMin> = None;
+                for _ in 0..restarts.max(1) {
+                    // Log-uniform start, np-style.
+                    let t = rng.next_f64();
+                    let x0 = (lo.ln() + t * (hi.ln() - lo.ln())).exp();
+                    let r = nelder_mead_1d(
+                        |h| objective(h, &mut total_evals),
+                        x0,
+                        (hi - lo) * 0.1,
+                        lo,
+                        hi,
+                        self.tol * (hi - lo),
+                        self.max_iter,
+                    );
+                    best = Some(match best {
+                        Some(b) if b.fx <= r.fx => b,
+                        _ => r,
+                    });
+                }
+                let mut b = best.expect("at least one restart");
+                b.evaluations = total_evals;
+                b
+            }
+        };
+
+        if best.fx >= DEGENERATE_PENALTY {
+            return Err(Error::NoValidBandwidth);
+        }
+        Ok(Selection {
+            bandwidth: best.x,
+            score: best.fx,
+            evaluations: best.evaluations,
+            profile: None,
+        })
+    }
+
+    fn name(&self) -> String {
+        let m = match self.method {
+            NumericMethod::GoldenSection => "golden".to_string(),
+            NumericMethod::NelderMead { restarts } => format!("neldermead{restarts}"),
+        };
+        format!("numeric-{m}-{}", self.kernel.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{Epanechnikov, Gaussian};
+    use crate::select::grid_search::{GridSpec, SortedGridSearch};
+    use crate::util::SplitMix64;
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let r = golden_section_min(|x| (x - 2.0) * (x - 2.0) + 1.0, 0.0, 5.0, 1e-10, 200);
+        assert!((r.x - 2.0).abs() < 1e-6);
+        assert!((r.fx - 1.0).abs() < 1e-10);
+        assert!(r.evaluations > 2);
+    }
+
+    #[test]
+    fn golden_section_respects_bracket() {
+        // Minimum outside the bracket → converges to the bracket edge.
+        let r = golden_section_min(|x| x * x, 1.0, 3.0, 1e-9, 200);
+        assert!((r.x - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nelder_mead_finds_parabola_minimum() {
+        let r = nelder_mead_1d(|x| (x + 1.0) * (x + 1.0), 3.0, 0.5, -10.0, 10.0, 1e-10, 500);
+        assert!((r.x + 1.0).abs() < 1e-5, "got {}", r.x);
+    }
+
+    #[test]
+    fn nelder_mead_is_start_dependent_on_multimodal_objective() {
+        // f has local minima at x = 1 (f = 0.5) and x = 4 (f = 0).
+        let f = |x: f64| {
+            let a = (x - 1.0) * (x - 1.0) + 0.5;
+            let b = (x - 4.0) * (x - 4.0);
+            a.min(b)
+        };
+        let from_left = nelder_mead_1d(f, 0.5, 0.2, 0.0, 6.0, 1e-10, 500);
+        let from_right = nelder_mead_1d(f, 4.5, 0.2, 0.0, 6.0, 1e-10, 500);
+        assert!((from_left.x - 1.0).abs() < 0.1, "left start → {}", from_left.x);
+        assert!((from_right.x - 4.0).abs() < 0.1, "right start → {}", from_right.x);
+        // The paper's point: the local optimiser's answer depends on the
+        // start, and one of them is not the global minimum.
+        assert!(from_left.fx > from_right.fx);
+    }
+
+    fn paper_dgp(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| 0.5 * v + 10.0 * v * v + 0.5 * rng.next_f64())
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn numeric_selection_lands_near_grid_optimum_on_smooth_data() {
+        let (x, y) = paper_dgp(150, 41);
+        let grid_sel = SortedGridSearch::new(Epanechnikov, GridSpec::PaperDefault(200))
+            .select(&x, &y)
+            .unwrap();
+        let numeric = NumericCvSelector::new(Epanechnikov, NumericMethod::NelderMead { restarts: 5 })
+            .select(&x, &y)
+            .unwrap();
+        // The CV surface for this DGP is well-behaved: the optimisers should
+        // land in similar ranges (the paper's §IV-C sanity check).
+        assert!(
+            (numeric.bandwidth - grid_sel.bandwidth).abs() < 0.1,
+            "numeric {} vs grid {}",
+            numeric.bandwidth,
+            grid_sel.bandwidth
+        );
+        assert!(numeric.evaluations > 0);
+    }
+
+    #[test]
+    fn golden_section_also_works_with_gaussian() {
+        let (x, y) = paper_dgp(80, 42);
+        let sel = NumericCvSelector::new(Gaussian, NumericMethod::GoldenSection)
+            .select(&x, &y)
+            .unwrap();
+        assert!(sel.bandwidth > 0.0 && sel.bandwidth < 1.0);
+        assert!(sel.score.is_finite());
+    }
+
+    #[test]
+    fn degenerate_domain_is_rejected() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        let sel = NumericCvSelector::new(Epanechnikov, NumericMethod::GoldenSection);
+        assert!(sel.select(&x, &y).is_err());
+    }
+
+    #[test]
+    fn restarts_only_improve_the_objective() {
+        let (x, y) = paper_dgp(100, 43);
+        let few = NumericCvSelector::new(Epanechnikov, NumericMethod::NelderMead { restarts: 1 })
+            .with_seed(7)
+            .select(&x, &y)
+            .unwrap();
+        let many = NumericCvSelector::new(Epanechnikov, NumericMethod::NelderMead { restarts: 8 })
+            .with_seed(7)
+            .select(&x, &y)
+            .unwrap();
+        assert!(many.score <= few.score + 1e-15);
+    }
+}

@@ -1,0 +1,229 @@
+//! Cooperative (single-block, barrier-synchronised) kernels.
+//!
+//! CUDA reductions interleave shared-memory phases with `__syncthreads()`.
+//! The simulator models this with *barrier phases*: [`CooperativeBlock::step`]
+//! runs one closure per thread against a snapshot of shared memory taken at
+//! the last barrier, buffers every shared-memory write, and applies the
+//! writes when all threads finish — which is exactly the semantics a
+//! *correct* CUDA program (no intra-phase races) relies on. As a bonus the
+//! simulator detects intra-phase write conflicts and reports them as
+//! [`SimError::SharedMemoryRace`] instead of silently producing one of the
+//! racy outcomes.
+
+use crate::cost::{CostModel, LaunchReport, ThreadCounters};
+use crate::device::DeviceSpec;
+use crate::error::{Result, SimError};
+use crate::launch::{build_report, LaunchConfig};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Buffered shared-memory writes from one thread within one phase.
+#[derive(Debug, Default)]
+pub struct SharedWrites {
+    writes: Vec<(usize, f32)>,
+}
+
+impl SharedWrites {
+    /// Schedules `shared[index] = value` to take effect at the next barrier.
+    pub fn write(&mut self, index: usize, value: f32) {
+        self.writes.push((index, value));
+    }
+}
+
+/// A single thread block executing barrier-separated phases over a shared
+/// memory array.
+#[derive(Debug)]
+pub struct CooperativeBlock<'a> {
+    spec: &'a DeviceSpec,
+    cost: &'a CostModel,
+    threads: usize,
+    shared: Vec<f32>,
+    counters: Vec<ThreadCounters>,
+    started: Instant,
+}
+
+impl<'a> CooperativeBlock<'a> {
+    /// Creates a block of `threads` threads with `shared_len` f32 cells of
+    /// shared memory (zero-initialised).
+    pub fn new(
+        spec: &'a DeviceSpec,
+        cost: &'a CostModel,
+        threads: usize,
+        shared_len: usize,
+    ) -> Result<Self> {
+        if threads == 0 {
+            return Err(SimError::InvalidLaunch("block has zero threads".into()));
+        }
+        if threads > spec.max_threads_per_block {
+            return Err(SimError::InvalidLaunch(format!(
+                "block size {threads} exceeds device maximum {}",
+                spec.max_threads_per_block
+            )));
+        }
+        Ok(Self {
+            spec,
+            cost,
+            threads,
+            shared: vec![0.0; shared_len],
+            counters: vec![ThreadCounters::default(); threads],
+            started: Instant::now(),
+        })
+    }
+
+    /// Number of threads in the block.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Read-only view of shared memory as of the last barrier.
+    pub fn shared(&self) -> &[f32] {
+        &self.shared
+    }
+
+    /// Runs one barrier phase: `body(tid, shared, counters, writes)` for
+    /// every thread against the current shared snapshot, then applies the
+    /// buffered writes and charges one `__syncthreads` per thread.
+    ///
+    /// Returns an error if two different threads wrote the same cell (data
+    /// race) or any write was out of bounds.
+    pub fn step<F>(&mut self, body: F) -> Result<()>
+    where
+        F: Fn(usize, &[f32], &mut ThreadCounters, &mut SharedWrites) + Sync,
+    {
+        let shared = &self.shared;
+        let results: Vec<(ThreadCounters, SharedWrites)> = (0..self.threads)
+            .into_par_iter()
+            .map(|tid| {
+                let mut c = ThreadCounters::default();
+                let mut w = SharedWrites::default();
+                body(tid, shared, &mut c, &mut w);
+                c.sync();
+                (c, w)
+            })
+            .collect();
+
+        // Apply writes in thread order, detecting cross-thread conflicts.
+        let mut writer: Vec<Option<usize>> = vec![None; self.shared.len()];
+        for (tid, (c, w)) in results.into_iter().enumerate() {
+            self.counters[tid].absorb(&c);
+            for (idx, val) in w.writes {
+                if idx >= self.shared.len() {
+                    return Err(SimError::SharedMemoryOutOfBounds {
+                        index: idx,
+                        len: self.shared.len(),
+                    });
+                }
+                match writer[idx] {
+                    Some(prev) if prev != tid => {
+                        return Err(SimError::SharedMemoryRace { index: idx, threads: (prev, tid) });
+                    }
+                    _ => writer[idx] = Some(tid),
+                }
+                self.shared[idx] = val;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the block, returning the final shared memory and the cost
+    /// report (single block ⇒ `threads_per_block = threads`).
+    pub fn finish(self) -> (Vec<f32>, LaunchReport) {
+        let config = LaunchConfig::new(self.threads, self.threads);
+        let host_seconds = self.started.elapsed().as_secs_f64();
+        let report = build_report(&self.counters, config, self.spec, self.cost, host_seconds);
+        (self.shared, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tesla() -> (DeviceSpec, CostModel) {
+        (DeviceSpec::tesla_s10(), CostModel::default())
+    }
+
+    #[test]
+    fn phases_see_previous_phase_writes() {
+        let (spec, cost) = tesla();
+        let mut block = CooperativeBlock::new(&spec, &cost, 4, 4).unwrap();
+        block
+            .step(|tid, _s, c, w| {
+                c.shared_access(1);
+                w.write(tid, tid as f32);
+            })
+            .unwrap();
+        assert_eq!(block.shared(), &[0.0, 1.0, 2.0, 3.0]);
+        block
+            .step(|tid, s, c, w| {
+                c.shared_access(2);
+                w.write(tid, s[tid] * 10.0);
+            })
+            .unwrap();
+        assert_eq!(block.shared(), &[0.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn intra_phase_snapshot_semantics() {
+        // Thread 0 writes cell 1; thread 1 reads cell 1 in the SAME phase
+        // and must see the pre-phase value (0), not the new one.
+        let (spec, cost) = tesla();
+        let mut block = CooperativeBlock::new(&spec, &cost, 2, 3).unwrap();
+        block
+            .step(|tid, s, _c, w| {
+                if tid == 0 {
+                    w.write(1, 42.0);
+                } else {
+                    w.write(2, s[1] + 1.0);
+                }
+            })
+            .unwrap();
+        assert_eq!(block.shared(), &[0.0, 42.0, 1.0]);
+    }
+
+    #[test]
+    fn cross_thread_write_conflict_is_a_race() {
+        let (spec, cost) = tesla();
+        let mut block = CooperativeBlock::new(&spec, &cost, 2, 1).unwrap();
+        let err = block.step(|_tid, _s, _c, w| w.write(0, 1.0)).unwrap_err();
+        assert!(matches!(err, SimError::SharedMemoryRace { index: 0, .. }));
+    }
+
+    #[test]
+    fn same_thread_may_rewrite_a_cell() {
+        let (spec, cost) = tesla();
+        let mut block = CooperativeBlock::new(&spec, &cost, 1, 1).unwrap();
+        block
+            .step(|_tid, _s, _c, w| {
+                w.write(0, 1.0);
+                w.write(0, 2.0);
+            })
+            .unwrap();
+        assert_eq!(block.shared(), &[2.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_write_is_reported() {
+        let (spec, cost) = tesla();
+        let mut block = CooperativeBlock::new(&spec, &cost, 1, 2).unwrap();
+        let err = block.step(|_t, _s, _c, w| w.write(5, 0.0)).unwrap_err();
+        assert_eq!(err, SimError::SharedMemoryOutOfBounds { index: 5, len: 2 });
+    }
+
+    #[test]
+    fn sync_cost_charged_per_phase() {
+        let (spec, cost) = tesla();
+        let mut block = CooperativeBlock::new(&spec, &cost, 8, 8).unwrap();
+        block.step(|_t, _s, _c, _w| {}).unwrap();
+        block.step(|_t, _s, _c, _w| {}).unwrap();
+        let (_, report) = block.finish();
+        assert_eq!(report.totals.syncs, 16); // 8 threads × 2 barriers
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let (spec, cost) = tesla();
+        assert!(CooperativeBlock::new(&spec, &cost, 513, 1).is_err());
+        assert!(CooperativeBlock::new(&spec, &cost, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Independent-kernel launches: SPMD execution with no intra-block
+//! coordination — the model for the paper's main bandwidth kernel ("this
+//! main kernel does not use shared memory or coordination across threads").
+//!
+//! Each simulated thread receives its thread id, a caller-prepared private
+//! workspace (typically the thread's rows of the global-memory matrices),
+//! and a [`ThreadCounters`] to report its operations. Threads run truly in
+//! parallel on host cores via rayon; the cost model then replays the counts
+//! through the warp/SM schedule of the target [`DeviceSpec`].
+
+use crate::cost::{aggregate_cycles, CostModel, LaunchReport, ThreadCounters};
+use crate::device::DeviceSpec;
+use crate::error::{Result, SimError};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Grid configuration for a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Total threads in the grid (the paper sets this to `n`).
+    pub threads: usize,
+    /// Threads per block (the paper found 512 — the device maximum — best).
+    pub threads_per_block: usize,
+}
+
+impl LaunchConfig {
+    /// One thread per work item with the given block size.
+    pub fn new(threads: usize, threads_per_block: usize) -> Self {
+        Self { threads, threads_per_block }
+    }
+
+    fn validate(&self, spec: &DeviceSpec) -> Result<()> {
+        if self.threads == 0 {
+            return Err(SimError::InvalidLaunch("grid has zero threads".into()));
+        }
+        if self.threads_per_block == 0 {
+            return Err(SimError::InvalidLaunch("block has zero threads".into()));
+        }
+        if self.threads_per_block > spec.max_threads_per_block {
+            return Err(SimError::InvalidLaunch(format!(
+                "block size {} exceeds device maximum {}",
+                self.threads_per_block, spec.max_threads_per_block
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Launches an independent (no shared memory, no synchronisation) kernel:
+/// one invocation of `kernel` per thread, each owning one workspace.
+///
+/// `workspaces.len()` must equal `config.threads`. Returns the launch cost
+/// report; side effects happen through the workspaces (which typically hold
+/// `&mut` rows of device buffers).
+pub fn launch_independent<W, F>(
+    spec: &DeviceSpec,
+    cost: &CostModel,
+    config: LaunchConfig,
+    workspaces: Vec<W>,
+    kernel: F,
+) -> Result<LaunchReport>
+where
+    W: Send,
+    F: Fn(usize, &mut W, &mut ThreadCounters) + Sync,
+{
+    config.validate(spec)?;
+    if workspaces.len() != config.threads {
+        return Err(SimError::InvalidLaunch(format!(
+            "{} workspaces for {} threads",
+            workspaces.len(),
+            config.threads
+        )));
+    }
+    let start = Instant::now();
+    let counters: Vec<ThreadCounters> = workspaces
+        .into_par_iter()
+        .enumerate()
+        .map(|(tid, mut ws)| {
+            let mut c = ThreadCounters::default();
+            kernel(tid, &mut ws, &mut c);
+            c
+        })
+        .collect();
+    let host_seconds = start.elapsed().as_secs_f64();
+    Ok(build_report(&counters, config, spec, cost, host_seconds))
+}
+
+/// Launches an independent kernel that *returns* a value per thread
+/// (convenience for gather-style kernels); returns the outputs in thread
+/// order plus the cost report.
+pub fn launch_map<R, F>(
+    spec: &DeviceSpec,
+    cost: &CostModel,
+    config: LaunchConfig,
+    kernel: F,
+) -> Result<(Vec<R>, LaunchReport)>
+where
+    R: Send,
+    F: Fn(usize, &mut ThreadCounters) -> R + Sync,
+{
+    config.validate(spec)?;
+    let start = Instant::now();
+    let pairs: Vec<(R, ThreadCounters)> = (0..config.threads)
+        .into_par_iter()
+        .map(|tid| {
+            let mut c = ThreadCounters::default();
+            let r = kernel(tid, &mut c);
+            (r, c)
+        })
+        .collect();
+    let host_seconds = start.elapsed().as_secs_f64();
+    let mut outputs = Vec::with_capacity(pairs.len());
+    let mut counters = Vec::with_capacity(pairs.len());
+    for (r, c) in pairs {
+        outputs.push(r);
+        counters.push(c);
+    }
+    let report = build_report(&counters, config, spec, cost, host_seconds);
+    Ok((outputs, report))
+}
+
+pub(crate) fn build_report(
+    counters: &[ThreadCounters],
+    config: LaunchConfig,
+    spec: &DeviceSpec,
+    cost: &CostModel,
+    host_seconds: f64,
+) -> LaunchReport {
+    let mut totals = ThreadCounters::default();
+    for c in counters {
+        totals.absorb(c);
+    }
+    let per_thread: Vec<f64> = counters.iter().map(|c| c.cycles(cost)).collect();
+    let simulated_cycles = aggregate_cycles(&per_thread, config.threads_per_block, spec);
+    LaunchReport {
+        threads: config.threads,
+        threads_per_block: config.threads_per_block,
+        totals,
+        simulated_cycles,
+        simulated_seconds: simulated_cycles / spec.clock_hz,
+        host_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tesla() -> (DeviceSpec, CostModel) {
+        (DeviceSpec::tesla_s10(), CostModel::default())
+    }
+
+    #[test]
+    fn kernel_mutates_workspaces_in_parallel() {
+        let (spec, cost) = tesla();
+        let mut data = vec![0.0f32; 1000];
+        let workspaces: Vec<&mut [f32]> = data.chunks_mut(10).collect();
+        let cfg = LaunchConfig::new(100, 32);
+        let report = launch_independent(&spec, &cost, cfg, workspaces, |tid, row, c| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (tid * 10 + j) as f32;
+                c.global_write(1);
+            }
+        })
+        .unwrap();
+        assert_eq!(report.totals.global_writes, 1000);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+    }
+
+    #[test]
+    fn launch_map_collects_in_thread_order() {
+        let (spec, cost) = tesla();
+        let cfg = LaunchConfig::new(64, 64);
+        let (out, report) = launch_map(&spec, &cost, cfg, |tid, c| {
+            c.flop(tid as u64);
+            tid * 2
+        })
+        .unwrap();
+        assert_eq!(out, (0..64).map(|t| t * 2).collect::<Vec<_>>());
+        assert_eq!(report.totals.flops, (0..64).sum::<usize>() as u64);
+        assert!(report.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn launch_validation() {
+        let (spec, cost) = tesla();
+        // Zero threads.
+        let r = launch_independent(&spec, &cost, LaunchConfig::new(0, 32), Vec::<()>::new(), |_, _, _| {});
+        assert!(r.is_err());
+        // Oversized block.
+        let r = launch_map(&spec, &cost, LaunchConfig::new(10, 1024), |_, _| ());
+        assert!(r.is_err());
+        // Workspace mismatch.
+        let r = launch_independent(&spec, &cost, LaunchConfig::new(4, 4), vec![(), ()], |_, _, _| {});
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn divergent_thread_raises_simulated_time() {
+        let (spec, cost) = tesla();
+        let cfg = LaunchConfig::new(32, 32);
+        let (_, uniform) = launch_map(&spec, &cost, cfg, |_, c| c.flop(100)).unwrap();
+        let (_, divergent) = launch_map(&spec, &cost, cfg, |tid, c| {
+            c.flop(if tid == 0 { 3200 } else { 100 })
+        })
+        .unwrap();
+        assert!(divergent.simulated_cycles > uniform.simulated_cycles * 10.0);
+    }
+
+    #[test]
+    fn simulated_time_scales_down_with_more_parallelism_than_work() {
+        // Same total work split over many blocks beats one serial block
+        // chain on a multi-SM device.
+        let (spec, cost) = tesla();
+        let many_blocks =
+            launch_map(&spec, &cost, LaunchConfig::new(960, 32), |_, c| c.flop(1000))
+                .unwrap()
+                .1;
+        let one_block =
+            launch_map(&spec, &cost, LaunchConfig::new(960, 512), |_, c| c.flop(1000))
+                .unwrap()
+                .1;
+        // 30 blocks of one warp spread over 30 SMs; 2 blocks of 16 warps
+        // pile onto 2 SMs.
+        assert!(many_blocks.simulated_cycles < one_block.simulated_cycles);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the GPU port.
+
+use std::fmt;
+
+/// Errors from the GPU bandwidth-selection pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// A device-side failure (allocation, launch, constant memory, …).
+    Sim(kcv_gpu_sim::SimError),
+    /// An input-validation failure (delegated to the core crate's rules).
+    Core(kcv_core::Error),
+    /// The bandwidth grid exceeds the constant-memory ceiling (pre-checked
+    /// so the caller gets a domain-level message before any allocation).
+    TooManyBandwidths {
+        /// Requested grid size.
+        requested: usize,
+        /// Maximum representable in the constant cache.
+        max: usize,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::Sim(e) => write!(f, "device error: {e}"),
+            GpuError::Core(e) => write!(f, "input error: {e}"),
+            GpuError::TooManyBandwidths { requested, max } => write!(
+                f,
+                "{requested} bandwidths exceed the constant-cache limit of {max} \
+                 (run the search repeatedly with progressively smaller ranges instead)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpuError::Sim(e) => Some(e),
+            GpuError::Core(e) => Some(e),
+            GpuError::TooManyBandwidths { .. } => None,
+        }
+    }
+}
+
+impl From<kcv_gpu_sim::SimError> for GpuError {
+    fn from(e: kcv_gpu_sim::SimError) -> Self {
+        GpuError::Sim(e)
+    }
+}
+
+impl From<kcv_core::Error> for GpuError {
+    fn from(e: kcv_core::Error) -> Self {
+        GpuError::Core(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, GpuError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = GpuError::TooManyBandwidths { requested: 4096, max: 2048 };
+        assert!(e.to_string().contains("4096"));
+        let e: GpuError = kcv_core::Error::DegenerateDomain.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: GpuError = kcv_gpu_sim::SimError::InvalidLaunch("x".into()).into();
+        assert!(e.to_string().contains("device error"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Multi-device execution — the paper's testbed actually had **two** Tesla
+//! S10s ("two Tesla S10 GPUs, each with 240 streaming cores and 4 GB of
+//! device-specific GPU memory", §IV-C) but its program used one. This
+//! module is the natural extension: shard the observations across `D`
+//! devices.
+//!
+//! Each device receives the full `(x, y)` vectors (they are small) and the
+//! whole constant-memory bandwidth grid, but only its shard's rows of the
+//! big matrices: thread `j` of device `d` handles observation
+//! `offset_d + j`. Per-bandwidth partial sums of squared residuals are
+//! reduced on each device and combined on the host — which both
+//!
+//! 1. cuts device time (shards run concurrently), and
+//! 2. **raises the paper's memory wall**: the dominant `2·n_local·n` f32
+//!    matrices shrink per device, so two 4 GB cards reach ~√2× the sample
+//!    size one card can.
+
+use crate::config::GpuConfig;
+use crate::error::Result;
+use crate::gpu_kernel_type::GpuKernel;
+use crate::kernel::{main_kernel, MainWorkspace};
+use kcv_core::error::validate_sample;
+use kcv_core::grid::BandwidthGrid;
+use kcv_gpu_sim::{
+    launch_independent, min_payload_reduction, sum_reduction, ConstantMemory, LaunchConfig,
+    MemoryPool, ThreadCounters,
+};
+use std::time::Instant;
+
+/// Result of a multi-device run.
+#[derive(Debug, Clone)]
+pub struct MultiDeviceRun {
+    /// The selected bandwidth.
+    pub bandwidth: f64,
+    /// Its CV score.
+    pub score: f64,
+    /// Per-grid-point CV scores.
+    pub scores: Vec<f32>,
+    /// Number of devices used.
+    pub devices: usize,
+    /// Simulated seconds: the *maximum* over devices (they run
+    /// concurrently) plus the shared reduction/transfer tail.
+    pub total_simulated_seconds: f64,
+    /// Peak device memory on the busiest device, bytes.
+    pub peak_bytes_per_device: usize,
+    /// Host wall-clock seconds for the whole simulation.
+    pub host_seconds: f64,
+}
+
+/// Runs the bandwidth search sharded over `devices` identical simulated
+/// GPUs (each configured per `config`).
+pub fn select_bandwidth_multi_gpu(
+    x: &[f64],
+    y: &[f64],
+    grid: &BandwidthGrid,
+    config: &GpuConfig,
+    devices: usize,
+) -> Result<MultiDeviceRun> {
+    let kernel = GpuKernel::epanechnikov();
+    let n = validate_sample(x, y, 2)?;
+    let k = grid.len();
+    let max_k = config.spec.max_constant_f32();
+    if k > max_k {
+        return Err(crate::error::GpuError::TooManyBandwidths { requested: k, max: max_k });
+    }
+    let devices = devices.clamp(1, n);
+    let wall = Instant::now();
+
+    let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let y32: Vec<f32> = y.iter().map(|&v| v as f32).collect();
+    let h32: Vec<f32> = grid.values().iter().map(|&v| v as f32).collect();
+
+    // Shard bounds: device d handles observations [starts[d], starts[d+1]).
+    let base = n / devices;
+    let extra = n % devices;
+    let mut starts = Vec::with_capacity(devices + 1);
+    let mut acc = 0usize;
+    starts.push(0);
+    for d in 0..devices {
+        acc += base + usize::from(d < extra);
+        starts.push(acc);
+    }
+
+    let mut device_seconds: Vec<f64> = Vec::with_capacity(devices);
+    let mut peak_bytes = 0usize;
+    // Per-bandwidth squared-residual totals, summed across devices.
+    let mut sq_totals = vec![0.0f32; k];
+
+    for d in 0..devices {
+        let lo = starts[d];
+        let hi = starts[d + 1];
+        let n_local = hi - lo;
+        if n_local == 0 {
+            device_seconds.push(0.0);
+            continue;
+        }
+        let pool = MemoryPool::for_device(&config.spec);
+        let mut x_dev = pool.alloc::<f32>(n)?;
+        let mut y_dev = pool.alloc::<f32>(n)?;
+        let mut dist_mat = pool.alloc::<f32>(n_local * n)?;
+        let mut y_mat = pool.alloc::<f32>(n_local * n)?;
+        let mut num_mat = pool.alloc::<f32>(n_local * k)?;
+        let mut den_mat = pool.alloc::<f32>(n_local * k)?;
+        let mut sqres_mat = pool.alloc::<f32>(n_local * k)?;
+        x_dev.copy_from_host(&x32)?;
+        y_dev.copy_from_host(&y32)?;
+        let bandwidths = ConstantMemory::new(&config.spec, &h32)?;
+
+        let report = {
+            let x_view = x_dev.as_slice();
+            let y_view = y_dev.as_slice();
+            let bw_view = bandwidths.as_slice();
+            let workspaces: Vec<MainWorkspace<'_>> = dist_mat
+                .as_mut_slice()
+                .chunks_mut(n)
+                .zip(y_mat.as_mut_slice().chunks_mut(n))
+                .zip(num_mat.as_mut_slice().chunks_mut(k))
+                .zip(den_mat.as_mut_slice().chunks_mut(k))
+                .zip(sqres_mat.as_mut_slice().chunks_mut(k))
+                .map(|((((dist, yrow), num), den), sqres)| MainWorkspace {
+                    dist,
+                    yrow,
+                    num,
+                    den,
+                    sqres,
+                })
+                .collect();
+            let coeffs = kernel.coeffs.as_slice();
+            let radius = kernel.radius;
+            launch_independent(
+                &config.spec,
+                &config.cost,
+                LaunchConfig::new(
+                    n_local,
+                    config.threads_per_block.min(config.spec.max_threads_per_block),
+                ),
+                workspaces,
+                // Thread tid of this device handles global observation lo + tid.
+                |tid, ws, c| {
+                    main_kernel(lo + tid, x_view, y_view, bw_view, coeffs, radius, true, ws, c)
+                },
+            )?
+        };
+
+        // Per-device partial reductions (bandwidth-major gather, coalesced).
+        let mut partial_cycles = 0.0;
+        {
+            let obs_major = sqres_mat.as_slice();
+            let mut row = vec![0.0f32; n_local];
+            for (m, total) in sq_totals.iter_mut().enumerate() {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = obs_major[j * k + m];
+                }
+                let (sum, rep) =
+                    sum_reduction(&config.spec, &config.cost, config.reduction_threads, &row)?;
+                *total += sum;
+                partial_cycles += rep.simulated_cycles;
+            }
+        }
+        let transfer =
+            (pool.h2d_bytes() + pool.d2h_bytes()) as f64 / config.spec.transfer_bytes_per_sec;
+        device_seconds
+            .push(report.simulated_seconds + partial_cycles / config.spec.clock_hz + transfer);
+        peak_bytes = peak_bytes.max(pool.peak());
+    }
+
+    // Host-side combine + final min (charged to one device).
+    let scores: Vec<f32> = sq_totals.iter().map(|&s| s / n as f32).collect();
+    let mut tail_counters = ThreadCounters::default();
+    let ((min_score, best_h), min_report) = min_payload_reduction(
+        &config.spec,
+        &config.cost,
+        config.reduction_threads,
+        &scores,
+        &h32,
+    )?;
+    tail_counters.absorb(&min_report.totals);
+    let tail_seconds = min_report.simulated_cycles / config.spec.clock_hz;
+
+    let busiest = device_seconds.iter().copied().fold(0.0f64, f64::max);
+    Ok(MultiDeviceRun {
+        bandwidth: best_h as f64,
+        score: min_score as f64,
+        scores,
+        devices,
+        total_simulated_seconds: busiest + tail_seconds,
+        peak_bytes_per_device: peak_bytes,
+        host_seconds: wall.elapsed().as_secs_f64(),
+    })
+}
+
+/// Per-device memory requirement for a sharded run, in bytes.
+pub fn required_bytes_per_device(n: usize, k: usize, devices: usize) -> usize {
+    let devices = devices.max(1);
+    let n_local = n.div_ceil(devices);
+    let f = std::mem::size_of::<f32>();
+    (2 * n + 2 * n_local * n + 3 * n_local * k) * f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{required_device_bytes, select_bandwidth_gpu};
+
+    fn paper_data(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 0.5 * v + 10.0 * v * v + 0.5 * next()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn multi_device_matches_single_device_results() {
+        let (x, y) = paper_data(257, 1);
+        let grid = BandwidthGrid::paper_default(&x, 20).unwrap();
+        let single = select_bandwidth_gpu(&x, &y, &grid, &GpuConfig::default()).unwrap();
+        for devices in [1usize, 2, 3, 7] {
+            let multi =
+                select_bandwidth_multi_gpu(&x, &y, &grid, &GpuConfig::default(), devices)
+                    .unwrap();
+            assert_eq!(multi.devices, devices);
+            assert_eq!(multi.bandwidth, single.bandwidth, "{devices} devices");
+            for m in 0..grid.len() {
+                // Partial sums are combined in a different order → tiny f32
+                // reassociation drift is allowed.
+                let a = multi.scores[m];
+                let b = single.scores[m];
+                assert!(
+                    (a - b).abs() <= 1e-5 * b.abs().max(1e-6),
+                    "{devices} devices, h index {m}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_devices_cut_simulated_time_once_the_device_is_saturated() {
+        // Sharding pays off only when the single device already has more
+        // blocks than SMs (otherwise idle SMs absorb the extra blocks).
+        // Scale the device to 2 SMs so saturation happens at test size.
+        let mut config = GpuConfig::default();
+        config.spec.num_sms = 2;
+        let (x, y) = paper_data(2_048, 2);
+        let grid = BandwidthGrid::paper_default(&x, 20).unwrap();
+        let one = select_bandwidth_multi_gpu(&x, &y, &grid, &config, 1).unwrap();
+        let two = select_bandwidth_multi_gpu(&x, &y, &grid, &config, 2).unwrap();
+        assert!(
+            two.total_simulated_seconds < 0.7 * one.total_simulated_seconds,
+            "2 devices: {} vs 1 device: {}",
+            two.total_simulated_seconds,
+            one.total_simulated_seconds
+        );
+        // On the full 30-SM Tesla at this n, blocks don't saturate the SMs,
+        // so sharding is *not* expected to help — also worth pinning down.
+        let one_full =
+            select_bandwidth_multi_gpu(&x, &y, &grid, &GpuConfig::default(), 1).unwrap();
+        let two_full =
+            select_bandwidth_multi_gpu(&x, &y, &grid, &GpuConfig::default(), 2).unwrap();
+        assert!(
+            (two_full.total_simulated_seconds - one_full.total_simulated_seconds).abs()
+                < 0.05 * one_full.total_simulated_seconds
+        );
+    }
+
+    #[test]
+    fn sharding_raises_the_memory_wall() {
+        // One 4 GB device dies near n ≈ 23–24k; two reach past 30k.
+        let four_gb = 4usize << 30;
+        assert!(required_device_bytes(24_000, 50) > four_gb);
+        assert!(required_bytes_per_device(24_000, 50, 2) < four_gb);
+        assert!(required_bytes_per_device(32_000, 50, 2) < four_gb);
+        assert!(required_bytes_per_device(34_000, 50, 2) > four_gb);
+    }
+
+    #[test]
+    fn more_devices_than_observations_is_clamped() {
+        let (x, y) = paper_data(5, 3);
+        let grid = BandwidthGrid::paper_default(&x, 3).unwrap();
+        let run = select_bandwidth_multi_gpu(&x, &y, &grid, &GpuConfig::default(), 64).unwrap();
+        assert_eq!(run.devices, 5);
+        assert!(run.bandwidth > 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's named extension: least-squares cross-validation for *kernel
+//! density* bandwidths using the same sorted sweep, compared against
+//! Silverman's rule on a bimodal mixture (where rules of thumb
+//! over-smooth and merge the modes).
+//!
+//! Run with: `cargo run --release --example density_estimation`
+
+use kernelcv::core::density::{lscv_profile_sorted, Kde};
+use kernelcv::core::kernels::EpanechnikovConvolution;
+use kernelcv::core::select::silverman_bandwidth;
+use kernelcv::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // A well-separated bimodal mixture: N(0, 0.25²) and N(3, 0.25²).
+    let n = 1_500;
+    let mut rng = StdRng::seed_from_u64(99);
+    let x: Vec<f64> = (0..n)
+        .map(|i| {
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            if i % 2 == 0 {
+                0.25 * z
+            } else {
+                3.0 + 0.25 * z
+            }
+        })
+        .collect();
+
+    // LSCV over a 200-point grid with the sorted sweep.
+    let grid = BandwidthGrid::linear(0.02, 2.0, 200).expect("grid");
+    let profile =
+        lscv_profile_sorted(&x, &grid, &Epanechnikov, &EpanechnikovConvolution).expect("lscv");
+    let (_, h_lscv, score) = profile.argmin().expect("argmin");
+    let h_silverman = silverman_bandwidth(&x, &Epanechnikov).expect("silverman");
+
+    println!("bimodal mixture, n = {n}");
+    println!("  LSCV bandwidth      : {h_lscv:.4} (objective {score:.5})");
+    println!("  Silverman bandwidth : {h_silverman:.4}\n");
+
+    let kde_cv = Kde::new(&x, Epanechnikov, h_lscv).expect("kde");
+    let kde_rot = Kde::new(&x, Epanechnikov, h_silverman).expect("kde");
+
+    // The scientific point: the CV bandwidth preserves the dip between the
+    // modes; an over-wide bandwidth fills it in.
+    let dip_cv = kde_cv.evaluate(1.5);
+    let mode_cv = kde_cv.evaluate(0.0);
+    let dip_rot = kde_rot.evaluate(1.5);
+    let mode_rot = kde_rot.evaluate(0.0);
+    let ratio = |mode: f64, dip: f64| {
+        if dip < 1e-6 {
+            "clean separation (dip ≈ 0)".to_string()
+        } else {
+            format!("mode/dip ratio {:.1}", mode / dip)
+        }
+    };
+    println!("  density at mode (x=0) / dip (x=1.5):");
+    println!("    LSCV     : {mode_cv:.4} / {dip_cv:.4}  ({})", ratio(mode_cv, dip_cv));
+    println!("    Silverman: {mode_rot:.4} / {dip_rot:.4}  ({})\n", ratio(mode_rot, dip_rot));
+
+    // ASCII densities.
+    println!("density estimates (c = LSCV, s = Silverman):");
+    let (points, d_cv) = kde_cv.evaluate_grid(-1.0, 4.0, 26);
+    let (_, d_rot) = kde_rot.evaluate_grid(-1.0, 4.0, 26);
+    let dmax = d_cv.iter().chain(&d_rot).fold(0.0f64, |a, &b| a.max(b));
+    for i in 0..points.len() {
+        let mut row = vec![' '; 52];
+        let pos = |v: f64| ((v / dmax) * 50.0).clamp(0.0, 51.0) as usize;
+        row[pos(d_rot[i])] = 's';
+        row[pos(d_cv[i])] = 'c';
+        println!("x={:>5.2} |{}", points[i], row.iter().collect::<String>());
+    }
+}

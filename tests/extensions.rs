@@ -1,0 +1,129 @@
+//! Integration tests for the extension surfaces: local-linear sweep,
+//! canned datasets, binned estimation, bootstrap inference, multi-device
+//! execution, and the np density interface — exercised together through
+//! the public facade.
+
+use kernelcv::core::bootstrap::{bootstrap_band, bootstrap_bandwidth_distribution};
+use kernelcv::core::cv::cv_profile_sorted_ll;
+use kernelcv::core::estimate::BinnedNadarayaWatson;
+use kernelcv::data::datasets::{cps71_like, gdp_like, motorcycle_like};
+use kernelcv::gpu::select_bandwidth_multi_gpu;
+use kernelcv::np::{npudensbw, NpUDensBwOptions};
+use kernelcv::prelude::*;
+
+#[test]
+fn local_linear_sweep_agrees_with_np_local_linear_objective() {
+    let sample = PaperDgp.sample(150, 501);
+    let grid = BandwidthGrid::paper_default(&sample.x, 20).unwrap();
+    let sorted = cv_profile_sorted_ll(&sample.x, &sample.y, &grid, &Epanechnikov).unwrap();
+    for (m, &h) in grid.values().iter().enumerate() {
+        let np_obj = kernelcv::np::cv_objective(&sample.x, &sample.y, h, &Epanechnikov, true);
+        assert!(
+            (sorted.scores[m] - np_obj).abs() <= 1e-8 * np_obj.abs().max(1e-9),
+            "h={h}: sweep {} vs np objective {np_obj}",
+            sorted.scores[m]
+        );
+    }
+}
+
+#[test]
+fn datasets_run_through_the_full_selection_pipeline() {
+    for (name, data) in [
+        ("cps71", cps71_like()),
+        ("motorcycle", motorcycle_like()),
+        ("gdp", gdp_like()),
+    ] {
+        let sel = SortedGridSearch::new(Epanechnikov, GridSpec::PaperDefault(100))
+            .with_min_included(data.len() * 9 / 10)
+            .select(&data.x, &data.y)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(sel.bandwidth > 0.0, "{name}");
+        let fit = NadarayaWatson::new(&data.x, &data.y, Epanechnikov, sel.bandwidth).unwrap();
+        let defined = fit.predict_many(&data.x).iter().filter(|p| p.is_some()).count();
+        assert!(defined as f64 > 0.9 * data.len() as f64, "{name}: {defined} defined");
+    }
+}
+
+#[test]
+fn motorcycle_needs_a_much_tighter_bandwidth_than_gdp() {
+    // Relative to each dataset's domain: sharply varying truth → small
+    // relative bandwidth; near-linear truth → wide relative bandwidth.
+    let rel_bw = |data: &kernelcv::data::Sample| {
+        let sel = SortedGridSearch::new(Epanechnikov, GridSpec::PaperDefault(100))
+            .with_min_included(data.len() / 2)
+            .select(&data.x, &data.y)
+            .unwrap();
+        let (lo, hi) = data
+            .x
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        sel.bandwidth / (hi - lo)
+    };
+    let moto = rel_bw(&motorcycle_like());
+    let gdp = rel_bw(&gdp_like());
+    assert!(moto < gdp, "motorcycle {moto} vs gdp {gdp}");
+}
+
+#[test]
+fn binned_estimator_approximates_exact_on_dataset_scale() {
+    let data = cps71_like();
+    let h = 4.0;
+    let binned = BinnedNadarayaWatson::new(&data.x, &data.y, Epanechnikov, h, 300).unwrap();
+    let ages: Vec<f64> = (25..=60).map(|a| a as f64).collect();
+    let worst = binned.max_deviation_from_exact(&data.x, &data.y, &ages).unwrap();
+    assert!(worst < 0.05, "max deviation {worst}");
+}
+
+#[test]
+fn bootstrap_and_asymptotic_bands_roughly_agree() {
+    use kernelcv::core::ci::confidence_band;
+    let sample = PaperDgp.sample(500, 502);
+    let h = 0.08;
+    let points = [0.3, 0.5, 0.7];
+    let boot =
+        bootstrap_band(&sample.x, &sample.y, &Epanechnikov, h, &points, 0.95, 300, 9).unwrap();
+    let asym = confidence_band(&sample.x, &sample.y, &Epanechnikov, h, &points, 0.95).unwrap();
+    for j in 0..points.len() {
+        let wb = boot.upper[j] - boot.lower[j];
+        let wa = asym.upper[j] - asym.lower[j];
+        // Same order of magnitude (they estimate the same variance).
+        assert!(wb < 3.0 * wa && wa < 3.0 * wb, "point {j}: bootstrap {wb} vs asymptotic {wa}");
+    }
+}
+
+#[test]
+fn bootstrap_bandwidth_distribution_brackets_the_full_sample_choice() {
+    let sample = PaperDgp.sample(300, 503);
+    let full = SortedGridSearch::new(Epanechnikov, GridSpec::PaperDefault(50))
+        .select(&sample.x, &sample.y)
+        .unwrap();
+    let hs = bootstrap_bandwidth_distribution(&sample.x, &sample.y, 50, 40, 10).unwrap();
+    let lo = hs[hs.len() / 10];
+    let hi = hs[hs.len() * 9 / 10];
+    assert!(
+        lo <= full.bandwidth && full.bandwidth <= hi,
+        "full-sample h {} outside bootstrap [{lo}, {hi}]",
+        full.bandwidth
+    );
+}
+
+#[test]
+fn multi_device_agrees_with_single_device_through_the_facade() {
+    let sample = PaperDgp.sample(400, 504);
+    let grid = BandwidthGrid::paper_default(&sample.x, 25).unwrap();
+    let single = select_bandwidth_gpu(&sample.x, &sample.y, &grid, &GpuConfig::default()).unwrap();
+    let dual =
+        select_bandwidth_multi_gpu(&sample.x, &sample.y, &grid, &GpuConfig::default(), 2)
+            .unwrap();
+    assert_eq!(single.bandwidth, dual.bandwidth);
+    assert!(dual.peak_bytes_per_device < single.report.device_bytes_peak);
+}
+
+#[test]
+fn np_density_interface_selects_sane_bandwidths_for_uniform_data() {
+    let sample = PaperDgp.sample(400, 505);
+    let bw = npudensbw(&sample.x, NpUDensBwOptions::default()).unwrap();
+    // X ~ U(0,1): the LSCV bandwidth should be a moderate fraction of the
+    // domain (a uniform density rewards wide smoothing, but ≤ domain).
+    assert!(bw.bw > 0.01 && bw.bw <= 1.0, "h = {}", bw.bw);
+}

@@ -1,0 +1,131 @@
+//! Cross-crate property-based tests: algebraic invariances of the CV
+//! objective and agreement between independent implementations on
+//! adversarial inputs.
+
+use kernelcv::core::cv::{cv_profile_naive, cv_profile_sorted};
+use kernelcv::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a valid regression sample from arbitrary pairs (dedup-free, but
+/// with a guaranteed spread in x).
+fn sample_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    proptest::collection::vec((-100.0f64..100.0, -50.0f64..50.0), 5..80).prop_map(|pairs| {
+        let mut x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        // Ensure a non-degenerate domain.
+        x[0] = -100.0;
+        let last = x.len() - 1;
+        x[last] = 100.0;
+        (x, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sorted_equals_naive_on_arbitrary_data((x, y) in sample_strategy(), k in 1usize..40) {
+        let grid = BandwidthGrid::paper_default(&x, k).unwrap();
+        let a = cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+        let b = cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+        for m in 0..k {
+            prop_assert_eq!(a.included[m], b.included[m]);
+            let diff = (a.scores[m] - b.scores[m]).abs();
+            prop_assert!(
+                diff <= 1e-8 * a.scores[m].abs().max(1.0),
+                "h={}: {} vs {}", grid.values()[m], a.scores[m], b.scores[m]
+            );
+        }
+    }
+
+    #[test]
+    fn cv_profile_is_invariant_to_shifting_x_and_y((x, y) in sample_strategy()) {
+        let grid = BandwidthGrid::paper_default(&x, 15).unwrap();
+        let base = cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+
+        // Shift x by a constant: distances unchanged → identical profile.
+        let x_shift: Vec<f64> = x.iter().map(|&v| v + 37.5).collect();
+        let shifted = cv_profile_sorted(&x_shift, &y, &grid, &Epanechnikov).unwrap();
+        for m in 0..grid.len() {
+            let diff = (base.scores[m] - shifted.scores[m]).abs();
+            prop_assert!(diff <= 1e-7 * base.scores[m].abs().max(1e-9));
+            prop_assert_eq!(base.included[m], shifted.included[m]);
+        }
+
+        // Shift y by a constant: residuals unchanged → identical profile.
+        let y_shift: Vec<f64> = y.iter().map(|&v| v + 11.0).collect();
+        let yshifted = cv_profile_sorted(&x, &y_shift, &grid, &Epanechnikov).unwrap();
+        for m in 0..grid.len() {
+            let diff = (base.scores[m] - yshifted.scores[m]).abs();
+            prop_assert!(diff <= 1e-6 * base.scores[m].abs().max(1e-6));
+        }
+    }
+
+    #[test]
+    fn cv_scales_quadratically_with_y((x, y) in sample_strategy(), c in 0.5f64..4.0) {
+        let grid = BandwidthGrid::paper_default(&x, 10).unwrap();
+        let base = cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+        let y_scaled: Vec<f64> = y.iter().map(|&v| c * v).collect();
+        let scaled = cv_profile_sorted(&x, &y_scaled, &grid, &Epanechnikov).unwrap();
+        for m in 0..grid.len() {
+            let expected = base.scores[m] * c * c;
+            let diff = (scaled.scores[m] - expected).abs();
+            prop_assert!(
+                diff <= 1e-7 * expected.abs().max(1e-9),
+                "h index {m}: {} vs expected {}", scaled.scores[m], expected
+            );
+        }
+    }
+
+    #[test]
+    fn cv_is_invariant_to_jointly_scaling_x_and_h((x, y) in sample_strategy(), c in 0.25f64..8.0) {
+        // CV(h; x) = CV(c·h; c·x): the kernel only sees (x_i − x_l)/h.
+        let grid = BandwidthGrid::paper_default(&x, 8).unwrap();
+        let base = cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+        let x_scaled: Vec<f64> = x.iter().map(|&v| c * v).collect();
+        let grid_scaled = BandwidthGrid::from_values(
+            grid.values().iter().map(|&h| c * h).collect()
+        ).unwrap();
+        let scaled = cv_profile_sorted(&x_scaled, &y, &grid_scaled, &Epanechnikov).unwrap();
+        for m in 0..grid.len() {
+            let diff = (base.scores[m] - scaled.scores[m]).abs();
+            prop_assert!(
+                diff <= 1e-6 * base.scores[m].abs().max(1e-9),
+                "h index {m}: {} vs {}", base.scores[m], scaled.scores[m]
+            );
+            prop_assert_eq!(base.included[m], scaled.included[m]);
+        }
+    }
+
+    #[test]
+    fn permuting_observations_leaves_the_profile_unchanged((x, y) in sample_strategy()) {
+        let grid = BandwidthGrid::paper_default(&x, 12).unwrap();
+        let base = cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+        // Reverse is a permutation; the CV sum is order-free.
+        let x_rev: Vec<f64> = x.iter().rev().copied().collect();
+        let y_rev: Vec<f64> = y.iter().rev().copied().collect();
+        let rev = cv_profile_sorted(&x_rev, &y_rev, &grid, &Epanechnikov).unwrap();
+        for m in 0..grid.len() {
+            let diff = (base.scores[m] - rev.scores[m]).abs();
+            prop_assert!(diff <= 1e-9 * base.scores[m].abs().max(1e-9));
+            prop_assert_eq!(base.included[m], rev.included[m]);
+        }
+    }
+
+    #[test]
+    fn gpu_f32_tracks_cpu_f64_on_random_data(seed in 0u64..500, n in 20usize..100) {
+        let sample = PaperDgp.sample(n, seed);
+        let grid = BandwidthGrid::paper_default(&sample.x, 15).unwrap();
+        let cpu = cv_profile_sorted(&sample.x, &sample.y, &grid, &Epanechnikov).unwrap();
+        let gpu = select_bandwidth_gpu(&sample.x, &sample.y, &grid, &GpuConfig::default())
+            .unwrap();
+        for m in 0..grid.len() {
+            let c = cpu.scores[m];
+            let g = gpu.scores[m] as f64;
+            prop_assert!(
+                (c - g).abs() <= 5e-3 * c.abs().max(1e-3),
+                "h={}: cpu {c} vs gpu {g}", grid.values()[m]
+            );
+        }
+    }
+}
