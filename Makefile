@@ -1,0 +1,37 @@
+# Development gates for the kernelcv workspace. Everything runs offline
+# against the vendored path dependencies (see vendor/), so no registry
+# access is needed.
+
+CARGO ?= cargo
+FLAGS ?= --offline
+
+.PHONY: verify build test test-metrics doc clippy bench-report clean
+
+## The full PR gate: build, tests with metrics off AND on, docs, lints.
+verify: build test test-metrics doc clippy
+	@echo "verify: all gates green"
+
+build:
+	$(CARGO) build $(FLAGS) --workspace --release
+
+test:
+	$(CARGO) test $(FLAGS) --workspace -q
+
+## The observability layer changes what compiles; test both feature states.
+test-metrics:
+	$(CARGO) test $(FLAGS) --workspace --features metrics -q
+
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc $(FLAGS) --workspace --no-deps
+
+clippy:
+	$(CARGO) clippy $(FLAGS) --workspace --all-targets -- -D warnings
+	$(CARGO) clippy $(FLAGS) --workspace --all-targets --features metrics -- -D warnings
+
+## Regenerate results/BENCH_report.json with live counters (small n).
+bench-report:
+	$(CARGO) run $(FLAGS) --release -p kcv-bench --features metrics \
+		--bin experiments -- --max-n 500 --table2-max-n 200 --reps 1 --nmulti 1
+
+clean:
+	$(CARGO) clean

@@ -7,6 +7,7 @@
 
 use kcv_bench::chart::{render_loglog, Series};
 use kcv_bench::programs::{run_program, Program};
+use kcv_bench::report::{collect_report, ReportConfig};
 use kcv_bench::sweep::{figure1_sweep, table2_sweep, PAPER_TABLE1, TABLE2_BANDWIDTHS, TABLE2_SIZES};
 use kcv_bench::table::{arg_parse, fmt_seconds, render, write_csv};
 use kcv_data::{Dgp, PaperDgp};
@@ -26,7 +27,7 @@ fn main() {
     );
 
     // ---- Figure 1 / Table I -------------------------------------------
-    eprintln!("[1/4] Figure 1 / Table I sweep…");
+    eprintln!("[1/5] Figure 1 / Table I sweep…");
     let rows = figure1_sweep(max_n, 50, reps, nmulti);
     let sizes: Vec<usize> = {
         let mut s: Vec<usize> = rows.iter().map(|r| r.n).collect();
@@ -127,7 +128,7 @@ fn main() {
     let _ = writeln!(summary, "FIGURE 1 (measured)\n{}", render_loglog(&series, 72, 24));
 
     // ---- Table II ------------------------------------------------------
-    eprintln!("[2/4] Table II sweeps…");
+    eprintln!("[2/5] Table II sweeps…");
     let t2_sizes: Vec<usize> = TABLE2_SIZES.iter().copied().filter(|&n| n <= t2_max_n).collect();
     let mut t2_headers: Vec<String> = vec!["Bandwidths".into()];
     t2_headers.extend(t2_sizes.iter().map(|n| n.to_string()));
@@ -163,7 +164,7 @@ fn main() {
     }
 
     // ---- §IV-C correctness cross-checks --------------------------------
-    eprintln!("[3/4] correctness cross-checks…");
+    eprintln!("[3/5] correctness cross-checks…");
     let mut agree = 0usize;
     let mut total = 0usize;
     let mut max_spread = 0.0f64;
@@ -188,7 +189,7 @@ fn main() {
     );
 
     // ---- memory ceilings ------------------------------------------------
-    eprintln!("[4/4] memory ceilings…");
+    eprintln!("[4/5] memory ceilings…");
     let spec = kcv_gpu_sim::DeviceSpec::tesla_s10();
     let four_gb = spec.global_mem_bytes;
     let wall_n = (1_000..40_000)
@@ -201,8 +202,24 @@ fn main() {
          Constant cache: 2,048 f32 bandwidths fit, 2,049 rejected (paper: 2,048 max).\n"
     );
 
+    // ---- per-strategy observability report ------------------------------
+    eprintln!("[5/5] per-strategy observability report…");
+    let report_n = max_n.clamp(50, 1_000);
+    let report = collect_report(ReportConfig { n: report_n, k: 50, seed: 42 })
+        .expect("collect BENCH report");
+    let _ = writeln!(
+        summary,
+        "Observability (n = {report_n}, k = 50, metrics {}): per-strategy wall\n\
+         times and op-counters written to results/BENCH_report.json.\n",
+        if kcv_obs::enabled() { "ON" } else { "OFF — rebuild with --features metrics for counters" }
+    );
+
     std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_report.json", report.to_json()).expect("write BENCH report");
     std::fs::write("results/summary.txt", &summary).expect("write summary");
     println!("{summary}");
-    eprintln!("wrote results/summary.txt, results/table1.csv, results/table2a.csv, results/table2b_simulated.csv");
+    eprintln!(
+        "wrote results/summary.txt, results/table1.csv, results/table2a.csv, \
+         results/table2b_simulated.csv, results/BENCH_report.json"
+    );
 }

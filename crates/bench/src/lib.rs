@@ -17,7 +17,9 @@
 
 pub mod chart;
 pub mod programs;
+pub mod report;
 pub mod sweep;
 pub mod table;
 
 pub use programs::{run_program, Program, ProgramResult};
+pub use report::{collect_report, PerfReport, ReportConfig};

@@ -1,0 +1,238 @@
+//! Versioned machine-readable performance report (`BENCH_report.json`).
+//!
+//! One report captures, at a single `(n, k)` configuration, every CV
+//! strategy's wall time together with the op-counters and phase timers the
+//! observability layer collected during that strategy's run (kernel
+//! evaluations, sort comparisons, compact-support skips, simulated memory
+//! transactions, …). Counters are live only when the workspace is built
+//! with `--features metrics`; without it the `obs` objects in the JSON are
+//! empty and `metrics_enabled` is `false`, so downstream tooling can tell
+//! "zero because cheap" from "zero because disabled".
+//!
+//! ## Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "metrics_enabled": true,
+//!   "config": {"n": 1000, "k": 50, "seed": 42, "kernel": "epanechnikov"},
+//!   "strategies": [
+//!     {
+//!       "name": "naive",
+//!       "bandwidth": 0.104,
+//!       "score": 0.0321,
+//!       "wall_seconds": 0.0124,
+//!       "simulated_seconds": null,
+//!       "obs": {
+//!         "counters": {"kernel_evals": 49950000, "sort_comparisons": 0, ...},
+//!         "phases": {"cv.naive": {"calls": 1, "seconds": 0.0123}, ...}
+//!       }
+//!     }
+//!   ]
+//! }
+//! ```
+
+use kcv_core::cv::{cv_profile_naive, cv_profile_sorted, cv_profile_sorted_par};
+use kcv_core::grid::BandwidthGrid;
+use kcv_core::kernels::Epanechnikov;
+use kcv_gpu::{select_bandwidth_gpu, GpuConfig};
+use kcv_obs::Snapshot;
+use std::time::Instant;
+
+/// Current `BENCH_report.json` schema version. Bump on any breaking change
+/// to the JSON layout and describe the change in EXPERIMENTS.md.
+pub const REPORT_VERSION: u32 = 1;
+
+/// The strategies a report covers, in emission order.
+pub const STRATEGIES: [&str; 4] = ["naive", "sorted", "parallel", "gpu-sim"];
+
+/// The `(n, k, seed)` point a report was measured at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportConfig {
+    /// Sample size.
+    pub n: usize,
+    /// Bandwidth-grid size.
+    pub k: usize,
+    /// DGP seed.
+    pub seed: u64,
+}
+
+/// One strategy's measurement: selection outcome, wall time, and the
+/// observability snapshot delta for exactly that run.
+#[derive(Debug, Clone)]
+pub struct StrategyPerf {
+    /// Strategy name (one of [`STRATEGIES`]).
+    pub name: &'static str,
+    /// Selected bandwidth.
+    pub bandwidth: f64,
+    /// CV score at the selected bandwidth.
+    pub score: f64,
+    /// Host wall-clock seconds for the run.
+    pub wall_seconds: f64,
+    /// Simulated device seconds (gpu-sim strategy only).
+    pub simulated_seconds: Option<f64>,
+    /// Counters and phase timers recorded during the run.
+    pub obs: Snapshot,
+}
+
+/// A full report: configuration plus one [`StrategyPerf`] per strategy.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Measurement point.
+    pub config: ReportConfig,
+    /// Per-strategy results, in [`STRATEGIES`] order.
+    pub strategies: Vec<StrategyPerf>,
+}
+
+impl PerfReport {
+    /// Serialises the report as schema-version-[`REPORT_VERSION`] JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"version\":{REPORT_VERSION},\"metrics_enabled\":{},\
+             \"config\":{{\"n\":{},\"k\":{},\"seed\":{},\"kernel\":\"epanechnikov\"}},\
+             \"strategies\":[",
+            kcv_obs::enabled(),
+            self.config.n,
+            self.config.k,
+            self.config.seed,
+        );
+        for (i, s) in self.strategies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let sim = s
+                .simulated_seconds
+                .map_or("null".to_string(), |v| format!("{v:.9}"));
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"bandwidth\":{:.12},\"score\":{:.12},\
+                 \"wall_seconds\":{:.9},\"simulated_seconds\":{sim},\"obs\":{}}}",
+                s.name,
+                s.bandwidth,
+                s.score,
+                s.wall_seconds,
+                s.obs.to_json(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Runs all four strategies at one `(n, k)` point on the paper DGP and
+/// collects a [`PerfReport`].
+///
+/// Counters are reset before each strategy, so every snapshot is that
+/// strategy's own delta. The global counters are process-wide: run this
+/// while no other instrumented code executes concurrently (the experiments
+/// binary is single-flow, which satisfies that).
+pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
+    let s = {
+        use kcv_data::Dgp;
+        kcv_data::PaperDgp.sample(config.n, config.seed)
+    };
+    let grid = BandwidthGrid::paper_default(&s.x, config.k).map_err(|e| e.to_string())?;
+
+    let mut strategies = Vec::with_capacity(STRATEGIES.len());
+    for name in STRATEGIES {
+        kcv_obs::reset();
+        let start = Instant::now();
+        let (bandwidth, score, simulated_seconds) = match name {
+            "naive" => {
+                let p = cv_profile_naive(&s.x, &s.y, &grid, &Epanechnikov)
+                    .map_err(|e| e.to_string())?;
+                let o = p.argmin().map_err(|e| e.to_string())?;
+                (o.bandwidth, o.score, None)
+            }
+            "sorted" => {
+                let p = cv_profile_sorted(&s.x, &s.y, &grid, &Epanechnikov)
+                    .map_err(|e| e.to_string())?;
+                let o = p.argmin().map_err(|e| e.to_string())?;
+                (o.bandwidth, o.score, None)
+            }
+            "parallel" => {
+                let p = cv_profile_sorted_par(&s.x, &s.y, &grid, &Epanechnikov)
+                    .map_err(|e| e.to_string())?;
+                let o = p.argmin().map_err(|e| e.to_string())?;
+                (o.bandwidth, o.score, None)
+            }
+            "gpu-sim" => {
+                let run = select_bandwidth_gpu(&s.x, &s.y, &grid, &GpuConfig::default())
+                    .map_err(|e| e.to_string())?;
+                (
+                    run.bandwidth,
+                    run.score,
+                    Some(run.report.total_simulated_seconds),
+                )
+            }
+            other => return Err(format!("unknown strategy {other}")),
+        };
+        let wall_seconds = start.elapsed().as_secs_f64();
+        strategies.push(StrategyPerf {
+            name,
+            bandwidth,
+            score,
+            wall_seconds,
+            simulated_seconds,
+            obs: kcv_obs::snapshot(),
+        });
+    }
+    kcv_obs::reset();
+    Ok(PerfReport { config, strategies })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_strategies_and_serialises() {
+        let report = collect_report(ReportConfig { n: 120, k: 10, seed: 5 }).unwrap();
+        assert_eq!(report.strategies.len(), STRATEGIES.len());
+        for (s, name) in report.strategies.iter().zip(STRATEGIES) {
+            assert_eq!(s.name, name);
+            assert!(s.bandwidth > 0.0);
+            assert!(s.wall_seconds >= 0.0);
+        }
+        let gpu = report.strategies.last().unwrap();
+        assert!(gpu.simulated_seconds.unwrap() > 0.0);
+
+        let json = report.to_json();
+        assert!(json.starts_with("{\"version\":1,"));
+        for name in STRATEGIES {
+            assert!(json.contains(&format!("\"name\":\"{name}\"")), "{json}");
+        }
+        assert!(json.contains("\"simulated_seconds\":null"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn report_records_strategy_counters() {
+        let _guard = kcv_obs::exclusive();
+        let n = 60u64;
+        let k = 8u64;
+        let report = collect_report(ReportConfig {
+            n: n as usize,
+            k: k as usize,
+            seed: 1,
+        })
+        .unwrap();
+        let by_name = |name: &str| {
+            report
+                .strategies
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap()
+                .obs
+                .clone()
+        };
+        // Naive evaluates the kernel for every (i, l≠i, h) triple.
+        assert_eq!(by_name("naive").counter("kernel_evals"), k * n * (n - 1));
+        // The sweep absorbs each neighbour at most once per observation.
+        let sorted = by_name("sorted");
+        assert!(sorted.counter("kernel_evals") <= n * (n - 1));
+        assert!(sorted.counter("sort_comparisons") > 0);
+        // The gpu-sim path reports simulated memory traffic.
+        assert!(by_name("gpu-sim").counter("mem_transactions") > 0);
+    }
+}

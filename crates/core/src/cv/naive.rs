@@ -23,6 +23,7 @@ pub fn cv_profile_naive<K: Kernel + ?Sized>(
     let mut scores = vec![0.0; k];
     let mut included = vec![0usize; k];
 
+    let _sweep = kcv_obs::phase("cv.naive");
     for (m, &h) in grid.values().iter().enumerate() {
         let (score, inc) = cv_at_bandwidth(x, y, h, kernel);
         scores[m] = score;
@@ -47,6 +48,7 @@ fn cv_at_bandwidth<K: Kernel + ?Sized>(x: &[f64], y: &[f64], h: f64, kernel: &K)
     let inv_h = 1.0 / h;
     let mut sum_sq = 0.0;
     let mut included = 0usize;
+    let mut evals = kcv_obs::LocalCounter::new(kcv_obs::Counter::KernelEvals);
     for i in 0..n {
         let xi = x[i];
         let mut num = 0.0;
@@ -59,6 +61,7 @@ fn cv_at_bandwidth<K: Kernel + ?Sized>(x: &[f64], y: &[f64], h: f64, kernel: &K)
             num += y[l] * w;
             den += w;
         }
+        evals.incr(n as u64 - 1);
         if den > 0.0 {
             let resid = y[i] - num / den;
             sum_sq += resid * resid;

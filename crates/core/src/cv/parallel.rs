@@ -57,6 +57,7 @@ pub fn cv_profile_sorted_par<K: PolynomialKernel + ?Sized>(
     let hs = grid.values();
     let deg = coeffs.len() - 1;
 
+    let _sweep = kcv_obs::phase("cv.sweep");
     let acc = (0..n)
         .into_par_iter()
         .fold(
@@ -94,6 +95,7 @@ pub fn cv_profile_naive_par<K: Kernel + ?Sized>(
     let k = grid.len();
     let hs = grid.values();
 
+    let _sweep = kcv_obs::phase("cv.naive");
     let (sq_sums, included) = (0..n)
         .into_par_iter()
         .fold(
@@ -101,6 +103,7 @@ pub fn cv_profile_naive_par<K: Kernel + ?Sized>(
             |(mut sq, mut inc), i| {
                 let xi = x[i];
                 let yi = y[i];
+                let mut evals = kcv_obs::LocalCounter::new(kcv_obs::Counter::KernelEvals);
                 for (m, &h) in hs.iter().enumerate() {
                     let inv_h = 1.0 / h;
                     let mut num = 0.0;
@@ -113,6 +116,7 @@ pub fn cv_profile_naive_par<K: Kernel + ?Sized>(
                         num += yl * w;
                         den += w;
                     }
+                    evals.incr(n as u64 - 1);
                     if den > 0.0 {
                         let r = yi - num / den;
                         sq[m] += r * r;

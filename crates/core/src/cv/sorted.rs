@@ -94,7 +94,10 @@ pub(crate) fn accumulate_observation(
     }
 
     // The paper's per-thread sort: distances ascending, responses co-sorted.
-    sort_with_aux(&mut scratch.dist, &mut scratch.yval);
+    {
+        let _sort = kcv_obs::phase("cv.sort");
+        sort_with_aux(&mut scratch.dist, &mut scratch.yval);
+    }
 
     // Reset running power sums.
     scratch.s[..=deg].fill(0.0);
@@ -102,6 +105,11 @@ pub(crate) fn accumulate_observation(
 
     let m_count = scratch.dist.len();
     let mut p = 0usize;
+    // Each neighbour enters the running sums exactly once across the whole
+    // grid — that is the sweep's saving versus the naive k·(n−1) kernel
+    // evaluations per observation; terms beyond the support are never read.
+    let mut absorbed = kcv_obs::LocalCounter::new(kcv_obs::Counter::KernelEvals);
+    let mut skipped = kcv_obs::LocalCounter::new(kcv_obs::Counter::LooTermsSkipped);
     for (m, &h) in hs.iter().enumerate() {
         let inv_h = 1.0 / h;
         // Absorb every not-yet-seen neighbour within the kernel support.
@@ -111,6 +119,7 @@ pub(crate) fn accumulate_observation(
         // discrete weight for the Uniform kernel — are classified the same
         // way by every CV strategy. Monotone in h, so the pointer never
         // needs to retreat.
+        let p_before = p;
         while p < m_count && scratch.dist[p] * inv_h <= radius {
             let d = scratch.dist[p];
             let yl = scratch.yval[p];
@@ -122,6 +131,8 @@ pub(crate) fn accumulate_observation(
             }
             p += 1;
         }
+        absorbed.incr((p - p_before) as u64);
+        skipped.incr((m_count - p) as u64);
         // Assemble N and D from the power sums: Σ_j c_j h^{-j} · S_j.
         let mut hp = 1.0;
         let mut num = 0.0;
@@ -157,6 +168,7 @@ pub fn cv_profile_sorted<K: PolynomialKernel + ?Sized>(
     let mut included = vec![0usize; k];
     let mut scratch = SweepScratch::new(n, coeffs.len() - 1);
 
+    let _sweep = kcv_obs::phase("cv.sweep");
     for i in 0..n {
         accumulate_observation(
             i, x, y, coeffs, radius, hs, &mut scratch, &mut sq_sums, &mut included,

@@ -65,8 +65,11 @@ fn accumulate_observation_ll(
     let mut b = vec![[0.0f64; 2]; deg + 1];
 
     let mut p = 0usize;
+    let mut absorbed = kcv_obs::LocalCounter::new(kcv_obs::Counter::KernelEvals);
+    let mut skipped = kcv_obs::LocalCounter::new(kcv_obs::Counter::LooTermsSkipped);
     for (m, &h) in hs.iter().enumerate() {
         let inv_h = 1.0 / h;
+        let p_before = p;
         // Same support predicate as the pointwise evaluation (see
         // `cv::sorted`), so boundary classifications agree with the naive
         // reference.
@@ -86,6 +89,8 @@ fn accumulate_observation_ll(
             }
             p += 1;
         }
+        absorbed.incr((p - p_before) as u64);
+        skipped.incr((abs_e.len() - p) as u64);
         // Assemble the five weighted moments.
         let mut hp = 1.0;
         let mut s0 = 0.0;

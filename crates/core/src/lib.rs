@@ -16,6 +16,29 @@
 //! non-concave surface) and fast (a sorting trick turns the `O(k·n²)` grid
 //! search into `O(n² log n)`, and the per-observation work is SPMD-parallel).
 //!
+//! ## Paper notation → public API
+//!
+//! * `CV_lc(h)` — the local-constant leave-one-out objective above;
+//!   computed for a whole grid by [`cv::cv_profile_naive`] /
+//!   [`cv::cv_profile_sorted`] (one [`cv::CvProfile`] entry per `h`), and
+//!   point-wise by the numerical selector's objective. The local-linear
+//!   variant `CV_ll(h)` lives in [`cv::cv_profile_sorted_ll`].
+//! * `ĝ_{-i}(X_i)` — the leave-one-out Nadaraya–Watson fit at `X_i`
+//!   ([`estimate::RegressionEstimator::loo_predict`]).
+//! * `M(X_i)` — the indicator that observation `i` has a defined
+//!   leave-one-out fit at this bandwidth (some neighbour inside the kernel
+//!   support). `CvProfile::included` counts `Σ_i M(X_i)` per bandwidth,
+//!   and [`cv::CvProfile::argmin_with_min_included`] guards against
+//!   bandwidths so small that `M` discards the sample.
+//! * **Sorted-sweep invariant** — for a compactly supported polynomial
+//!   kernel, every leave-one-out term inside the support at bandwidth `h₁`
+//!   is inside it at every `h₂ > h₁`; after sorting each observation's
+//!   neighbour distances ([`sort::sort_with_aux`]) one ascending pass over
+//!   the grid maintains running power sums `Σ dⱼ^p`, `Σ Yⱼ dⱼ^p`, absorbing
+//!   each neighbour **at most once** regardless of the grid size `k`. This
+//!   is the paper's `O(k·n²) → O(n² log n)` saving; the `metrics` feature
+//!   (below) counts it.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -63,6 +86,17 @@
 //! * [`bootstrap`] — pairs-bootstrap bands and bandwidth-stability
 //!   diagnostics.
 //! * [`diagnostics`] — fit quality summaries used by tests and benches.
+//!
+//! ## Feature `metrics`
+//!
+//! Builds the `kcv-obs` observability layer in live mode: the CV
+//! strategies, the sort, and the selectors then count kernel evaluations,
+//! sort comparisons, and compact-support skips, and time their phases
+//! (`cv.sort`, `cv.sweep`, `select.argmin`, …). Off by default and
+//! genuinely zero-cost when off — every counter call compiles to an empty
+//! inline stub. See the `kcv-obs` crate docs and
+//! `results/BENCH_report.json` (written by `kcv-bench`'s `experiments`
+//! binary) for the consumption side.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

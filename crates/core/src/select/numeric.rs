@@ -210,9 +210,11 @@ impl<K: Kernel> BandwidthSelector for NumericCvSelector<K> {
     fn select(&self, x: &[f64], y: &[f64]) -> Result<Selection> {
         crate::error::validate_sample(x, y, 2)?;
         let (lo, hi) = Self::bracket(x)?;
+        let _select = kcv_obs::phase("select.numeric");
         let mut total_evals = 0usize;
         let objective = |h: f64, evals: &mut usize| {
             *evals += 1;
+            kcv_obs::add(kcv_obs::Counter::ObjectiveEvals, 1);
             let (score, included) = cv_score_single(x, y, h, &self.kernel);
             if included == 0 {
                 DEGENERATE_PENALTY

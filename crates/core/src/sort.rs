@@ -30,6 +30,9 @@ pub fn sort_with_aux(keys: &mut [f64], aux: &mut [f64]) {
     if keys.len() < 2 {
         return;
     }
+    // Key-comparison tally for the observability layer; with `metrics` off
+    // the final `add` is a no-op and the increments fold away.
+    let mut cmps = 0u64;
     // Explicit stack of (lo, hi) inclusive ranges, mirroring the device code.
     let mut stack = [(0usize, 0usize); MAX_STACK];
     let mut top = 0usize;
@@ -42,10 +45,10 @@ pub fn sort_with_aux(keys: &mut [f64], aux: &mut [f64]) {
         // Iterate on the smaller side, push the larger: bounded stack.
         loop {
             if hi - lo < INSERTION_CUTOFF {
-                insertion_sort_range(keys, aux, lo, hi);
+                insertion_sort_range(keys, aux, lo, hi, &mut cmps);
                 break;
             }
-            let p = partition(keys, aux, lo, hi);
+            let p = partition(keys, aux, lo, hi, &mut cmps);
             let left_len = p - lo; // elements strictly left of p
             let right_len = hi - p; // elements strictly right of p
             if left_len < right_len {
@@ -69,15 +72,17 @@ pub fn sort_with_aux(keys: &mut [f64], aux: &mut [f64]) {
             }
         }
     }
+    kcv_obs::add(kcv_obs::Counter::SortComparisons, cmps);
 }
 
 /// Hoare-style partition with median-of-three pivot selection.
 ///
 /// Returns the final index of the pivot; everything left of it is `<=` pivot
 /// and everything right is `>=` pivot.
-fn partition(keys: &mut [f64], aux: &mut [f64], lo: usize, hi: usize) -> usize {
+fn partition(keys: &mut [f64], aux: &mut [f64], lo: usize, hi: usize, cmps: &mut u64) -> usize {
     let mid = lo + (hi - lo) / 2;
     // Order (lo, mid, hi) so keys[mid] is the median of the three.
+    *cmps += 3;
     if keys[mid] < keys[lo] {
         swap_both(keys, aux, mid, lo);
     }
@@ -96,12 +101,14 @@ fn partition(keys: &mut [f64], aux: &mut [f64], lo: usize, hi: usize) -> usize {
     loop {
         loop {
             i += 1;
+            *cmps += 1;
             if keys[i] >= pivot {
                 break;
             }
         }
         loop {
             j -= 1;
+            *cmps += 1;
             if keys[j] <= pivot {
                 break;
             }
@@ -117,12 +124,16 @@ fn partition(keys: &mut [f64], aux: &mut [f64], lo: usize, hi: usize) -> usize {
 }
 
 /// Insertion sort over the inclusive range `[lo, hi]`.
-fn insertion_sort_range(keys: &mut [f64], aux: &mut [f64], lo: usize, hi: usize) {
+fn insertion_sort_range(keys: &mut [f64], aux: &mut [f64], lo: usize, hi: usize, cmps: &mut u64) {
     for i in (lo + 1)..=hi {
         let k = keys[i];
         let a = aux[i];
         let mut j = i;
-        while j > lo && keys[j - 1] > k {
+        while j > lo {
+            *cmps += 1;
+            if keys[j - 1] <= k {
+                break;
+            }
             keys[j] = keys[j - 1];
             aux[j] = aux[j - 1];
             j -= 1;
@@ -141,7 +152,12 @@ fn swap_both(keys: &mut [f64], aux: &mut [f64], i: usize, j: usize) {
 /// Returns the permutation that sorts `keys` ascending (stable for ties).
 pub fn argsort(keys: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..keys.len()).collect();
-    idx.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]));
+    let mut cmps = 0u64;
+    idx.sort_by(|&a, &b| {
+        cmps += 1;
+        keys[a].total_cmp(&keys[b])
+    });
+    kcv_obs::add(kcv_obs::Counter::SortComparisons, cmps);
     idx
 }
 

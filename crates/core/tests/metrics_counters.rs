@@ -1,0 +1,139 @@
+//! Counter-correctness tests for the observability layer.
+//!
+//! Only compiled with `--features metrics`; the counters are process-global,
+//! so every test holds `kcv_obs::exclusive()` to serialise against any other
+//! instrumented code in the same binary.
+
+#![cfg(feature = "metrics")]
+
+use kcv_core::cv::{cv_profile_naive, cv_profile_naive_par, cv_profile_sorted, cv_profile_sorted_par};
+use kcv_core::grid::BandwidthGrid;
+use kcv_core::kernels::Epanechnikov;
+use kcv_core::sort::sort_with_aux;
+use kcv_obs::Counter;
+
+/// A fixture where every count is computable by hand: x on a unit grid,
+/// arbitrary responses.
+fn tiny_fixture() -> (Vec<f64>, Vec<f64>) {
+    (vec![0.0, 0.3, 0.55, 1.0], vec![1.0, 2.0, 0.5, 1.5])
+}
+
+#[test]
+fn naive_cv_counts_exactly_k_times_n_times_n_minus_1_kernel_evals() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = tiny_fixture();
+    let n = x.len() as u64; // 4
+    let k = 2u64;
+    let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+    // The naive double sum evaluates K((X_i − X_l)/h) for every ordered
+    // pair (i, l≠i) at every bandwidth: k·n·(n−1) = 2·4·3 = 24.
+    assert_eq!(kcv_obs::get(Counter::KernelEvals), k * n * (n - 1));
+}
+
+#[test]
+fn sorted_sweep_counts_strictly_fewer_kernel_evals_than_naive() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = tiny_fixture();
+    let n = x.len() as u64;
+    let k = 2u64;
+    let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+    let naive_evals = kcv_obs::get(Counter::KernelEvals);
+
+    kcv_obs::reset();
+    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    let sweep_evals = kcv_obs::get(Counter::KernelEvals);
+
+    // The sweep absorbs each neighbour into the running sums at most once
+    // per observation, independent of k: ≤ n·(n−1), and strictly fewer
+    // than the naive k·n·(n−1) for any k ≥ 2.
+    assert_eq!(naive_evals, k * n * (n - 1));
+    assert!(sweep_evals <= n * (n - 1), "sweep absorbed {sweep_evals}");
+    assert!(
+        sweep_evals < naive_evals,
+        "sweep {sweep_evals} should beat naive {naive_evals}"
+    );
+}
+
+#[test]
+fn sweep_skip_count_complements_absorbed_terms() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = tiny_fixture();
+    let n = x.len() as u64;
+    let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
+    let k = grid.len() as u64;
+
+    kcv_obs::reset();
+    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    let absorbed = kcv_obs::get(Counter::KernelEvals);
+    let skipped = kcv_obs::get(Counter::LooTermsSkipped);
+
+    // At each (i, h) the sweep partitions the n−1 leave-one-out terms into
+    // in-support (absorbed at some h' ≤ h) and beyond-support (skipped), so
+    // per-bandwidth absorbed-so-far + skipped = n−1. Summing over the grid:
+    //   Σ_m (cumulative absorbed at m) + Σ_m skipped_m = k·n·(n−1),
+    // which bounds skipped ≤ k·n·(n−1) − absorbed (equality iff everything
+    // absorbed happens at the first bandwidth).
+    assert!(absorbed + skipped <= k * n * (n - 1));
+    assert!(skipped > 0, "h=0.4 leaves far pairs outside the support");
+}
+
+#[test]
+fn parallel_strategies_count_the_same_totals_as_sequential() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = tiny_fixture();
+    let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+    let seq_naive = kcv_obs::get(Counter::KernelEvals);
+
+    kcv_obs::reset();
+    cv_profile_naive_par(&x, &y, &grid, &Epanechnikov).unwrap();
+    assert_eq!(kcv_obs::get(Counter::KernelEvals), seq_naive);
+
+    kcv_obs::reset();
+    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    let seq_sweep = kcv_obs::get(Counter::KernelEvals);
+    let seq_cmps = kcv_obs::get(Counter::SortComparisons);
+
+    kcv_obs::reset();
+    cv_profile_sorted_par(&x, &y, &grid, &Epanechnikov).unwrap();
+    assert_eq!(kcv_obs::get(Counter::KernelEvals), seq_sweep);
+    assert_eq!(kcv_obs::get(Counter::SortComparisons), seq_cmps);
+}
+
+#[test]
+fn sort_comparisons_lower_bound_holds() {
+    let _guard = kcv_obs::exclusive();
+    let mut keys: Vec<f64> = (0..100).rev().map(|i| i as f64).collect();
+    let mut aux = vec![0.0; 100];
+
+    kcv_obs::reset();
+    sort_with_aux(&mut keys, &mut aux);
+    let cmps = kcv_obs::get(Counter::SortComparisons);
+    // Sorting 100 reversed keys needs at least n−1 comparisons; quicksort
+    // with insertion-sort tails does a small multiple of n log n.
+    assert!(cmps >= 99, "only {cmps} comparisons recorded");
+    assert!(cmps < 100 * 100, "quadratic blowup: {cmps}");
+}
+
+#[test]
+fn phase_timers_cover_sweep_and_sort() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = tiny_fixture();
+    let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    let snap = kcv_obs::snapshot();
+    let sweep = snap.phases.iter().find(|p| p.name == "cv.sweep").expect("cv.sweep phase");
+    assert_eq!(sweep.calls, 1);
+    let sort = snap.phases.iter().find(|p| p.name == "cv.sort").expect("cv.sort phase");
+    assert_eq!(sort.calls, x.len() as u64, "one per-observation sort each");
+}

@@ -28,6 +28,10 @@ pub fn device_sort_with_aux(keys: &mut [f32], aux: &mut [f32], counters: &mut Th
     if keys.len() < 2 {
         return;
     }
+    // Every comparison in this routine charges exactly one branch (via
+    // `cmp`), so the branch delta across the call is the comparison count —
+    // reported to the observability layer alongside the host sort's tally.
+    let branches_before = counters.branches;
     let mut stack = [(0usize, 0usize); MAX_STACK];
     let mut top = 0usize;
     stack[top] = (0, keys.len() - 1);
@@ -65,6 +69,10 @@ pub fn device_sort_with_aux(keys: &mut [f32], aux: &mut [f32], counters: &mut Th
             }
         }
     }
+    kcv_obs::add(
+        kcv_obs::Counter::SortComparisons,
+        counters.branches - branches_before,
+    );
 }
 
 #[inline]

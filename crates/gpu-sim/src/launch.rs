@@ -71,6 +71,7 @@ where
             config.threads
         )));
     }
+    let _launch = kcv_obs::phase("gpu.launch");
     let start = Instant::now();
     let counters: Vec<ThreadCounters> = workspaces
         .into_par_iter()
@@ -99,6 +100,7 @@ where
     F: Fn(usize, &mut ThreadCounters) -> R + Sync,
 {
     config.validate(spec)?;
+    let _launch = kcv_obs::phase("gpu.launch");
     let start = Instant::now();
     let pairs: Vec<(R, ThreadCounters)> = (0..config.threads)
         .into_par_iter()
@@ -132,6 +134,13 @@ pub(crate) fn build_report(
     }
     let per_thread: Vec<f64> = counters.iter().map(|c| c.cycles(cost)).collect();
     let simulated_cycles = aggregate_cycles(&per_thread, config.threads_per_block, spec);
+    // Fold the launch totals into the workspace-wide observability counters
+    // so BENCH_report.json sees device traffic next to host-side op counts.
+    kcv_obs::add(
+        kcv_obs::Counter::MemTransactions,
+        totals.global_reads + totals.global_writes + totals.global_coalesced,
+    );
+    kcv_obs::add(kcv_obs::Counter::GpuSimCycles, simulated_cycles as u64);
     LaunchReport {
         threads: config.threads,
         threads_per_block: config.threads_per_block,

@@ -12,6 +12,12 @@ use crate::error::{Result, SimError};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Host↔device copies move in 128-byte bus segments; a copy of `bytes`
+/// therefore costs `ceil(bytes / 128)` simulated memory transactions.
+fn transfer_transactions(bytes: usize) -> u64 {
+    bytes.div_ceil(128).max(1) as u64
+}
+
 #[derive(Debug)]
 struct PoolInner {
     capacity: usize,
@@ -169,6 +175,7 @@ impl<T: Copy + Default> DeviceBuffer<T> {
         }
         self.data.copy_from_slice(host);
         self.pool.inner.h2d_bytes.fetch_add(self.bytes as u64, Ordering::Relaxed);
+        kcv_obs::add(kcv_obs::Counter::MemTransactions, transfer_transactions(self.bytes));
         Ok(())
     }
 
@@ -183,6 +190,7 @@ impl<T: Copy + Default> DeviceBuffer<T> {
         }
         host.copy_from_slice(&self.data);
         self.pool.inner.d2h_bytes.fetch_add(self.bytes as u64, Ordering::Relaxed);
+        kcv_obs::add(kcv_obs::Counter::MemTransactions, transfer_transactions(self.bytes));
         Ok(())
     }
 

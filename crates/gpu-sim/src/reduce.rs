@@ -65,6 +65,7 @@ fn sum_reduction_impl(
     coalesced: bool,
 ) -> Result<(f32, LaunchReport)> {
     validate_threads(spec, threads)?;
+    let _reduce = kcv_obs::phase("gpu.reduce");
     let mut block = CooperativeBlock::new(spec, cost, threads, threads)?;
 
     // Phase 1: thread t folds values[t], values[t+T], values[t+2T], …
@@ -124,6 +125,7 @@ pub fn min_payload_reduction(
         )));
     }
     // 2T shared cells: scores in [0, T), payloads in [T, 2T).
+    let _reduce = kcv_obs::phase("gpu.reduce");
     let mut block = CooperativeBlock::new(spec, cost, threads, 2 * threads)?;
 
     block.step(|tid, _shared, c, w| {

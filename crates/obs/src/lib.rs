@@ -1,0 +1,521 @@
+//! # kcv-obs — zero-cost observability for the kernelcv workspace
+//!
+//! The paper's headline claims are *operation counts*: the sorted sweep does
+//! `O(n² log n)` work where the naive grid search does `O(k·n²)`, and the
+//! GPU wins by the volume of memory transactions it avoids. This crate makes
+//! those counts observable: global atomic **op-counters** ([`Counter`]),
+//! scoped **phase timers** ([`phase`]), and a machine-readable [`Snapshot`]
+//! that `kcv-bench` serialises into `results/BENCH_report.json` so perf can
+//! be diffed PR-over-PR.
+//!
+//! ## Zero cost by default
+//!
+//! Everything here is behind the `metrics` cargo feature. Without it, every
+//! function in this crate is an empty `#[inline(always)]` stub: a counted
+//! hot loop carries no atomic traffic, no timer syscalls, and (after
+//! optimisation) no residual arithmetic. Downstream crates forward the
+//! feature (`kcv-core/metrics`, `kcv-gpu-sim/metrics`,
+//! `kcv-bench/metrics`), so one `--features metrics` at the top enables the
+//! whole pipeline.
+//!
+//! ## Counting discipline
+//!
+//! Hot loops must not hit a shared atomic per iteration. Batch with
+//! [`LocalCounter`] (one atomic add on drop) or accumulate a local `u64`
+//! and [`add`] it once per call.
+//!
+//! ```
+//! use kcv_obs::{add, phase, snapshot, reset, Counter, LocalCounter};
+//!
+//! reset();
+//! {
+//!     let _sweep = phase("cv.sweep");
+//!     let mut evals = LocalCounter::new(Counter::KernelEvals);
+//!     for _ in 0..100 {
+//!         evals.incr(1); // no atomic traffic here
+//!     }
+//! } // LocalCounter and the phase guard flush on drop
+//! add(Counter::SortComparisons, 42);
+//!
+//! let snap = snapshot();
+//! // With `--features metrics` the snapshot holds the counts; without it
+//! // the calls above compiled to nothing and the snapshot is empty.
+//! if kcv_obs::enabled() {
+//!     assert_eq!(snap.counter("kernel_evals"), 100);
+//!     assert_eq!(snap.counter("sort_comparisons"), 42);
+//! } else {
+//!     assert_eq!(snap.counter("kernel_evals"), 0);
+//! }
+//! assert!(snap.to_json().starts_with('{'));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// The operation classes the CV pipeline counts.
+///
+/// The names map to the paper's cost analysis (§III–§IV): kernel
+/// evaluations are the unit of the naive `O(k·n²)` bound, sort comparisons
+/// the `O(n log n)` per-observation sort, skipped LOO terms the saving from
+/// compact support, and memory transactions the currency of the GPU cost
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Pointwise kernel-weight evaluations `K((X_i − X_l)/h)` (naive
+    /// strategies) or absorbed neighbour terms (sorted sweep — each
+    /// neighbour enters the running power sums exactly once per
+    /// observation, which is the sweep's whole point).
+    KernelEvals = 0,
+    /// Key comparisons performed by the per-observation distance sorts
+    /// (host quicksort and the simulated device sort).
+    SortComparisons = 1,
+    /// Leave-one-out sum terms *never touched* because the kernel's compact
+    /// support excluded them — work the naive evaluation would have spent
+    /// multiplying by zero.
+    LooTermsSkipped = 2,
+    /// Full `CV_lc(h)` objective evaluations by the numerical-optimisation
+    /// selectors (the paper's Program 1/2 cost unit).
+    ObjectiveEvals = 3,
+    /// Simulated global-memory transactions reported by the GPU cost model
+    /// (uncoalesced reads + writes + coalesced accesses).
+    MemTransactions = 4,
+    /// Simulated device cycles folded in from `kcv-gpu-sim` launch reports
+    /// (rounded to u64).
+    GpuSimCycles = 5,
+}
+
+/// Number of counters (array sizing).
+const NUM_COUNTERS: usize = 6;
+
+impl Counter {
+    /// Every counter, in serialisation order.
+    pub const ALL: [Counter; NUM_COUNTERS] = [
+        Counter::KernelEvals,
+        Counter::SortComparisons,
+        Counter::LooTermsSkipped,
+        Counter::ObjectiveEvals,
+        Counter::MemTransactions,
+        Counter::GpuSimCycles,
+    ];
+
+    /// The snake_case name used in snapshots and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::KernelEvals => "kernel_evals",
+            Counter::SortComparisons => "sort_comparisons",
+            Counter::LooTermsSkipped => "loo_terms_skipped",
+            Counter::ObjectiveEvals => "objective_evals",
+            Counter::MemTransactions => "mem_transactions",
+            Counter::GpuSimCycles => "gpu_sim_cycles",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wall-time statistics for one named phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name as passed to [`phase`] (e.g. `"cv.sort"`).
+    pub name: String,
+    /// Number of completed phase scopes.
+    pub calls: u64,
+    /// Total nanoseconds spent inside the phase across all scopes.
+    pub nanos: u64,
+}
+
+/// A point-in-time copy of every counter and phase timer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` for each [`Counter`], in [`Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Per-phase wall-time totals, in first-use order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl Snapshot {
+    /// Value of the named counter, `0` when absent (e.g. metrics disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Total nanoseconds of the named phase, `0` when absent.
+    pub fn phase_nanos(&self, name: &str) -> u64 {
+        self.phases.iter().find(|p| p.name == name).map_or(0, |p| p.nanos)
+    }
+
+    /// Serialises the snapshot as a JSON object:
+    /// `{"counters": {name: value, …}, "phases": {name: {"calls": c,
+    /// "seconds": s}, …}}`. Hand-rolled (the build environment has no
+    /// serde); all names are static identifiers, so no string escaping is
+    /// needed beyond what [`json_escape`] provides.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push_str("},\"phases\":{");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"calls\":{},\"seconds\":{:.9}}}",
+                json_escape(&p.name),
+                p.calls,
+                p.nanos as f64 * 1e-9
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(feature = "metrics")]
+mod imp {
+    use super::{Counter, PhaseStat, Snapshot, NUM_COUNTERS};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::time::Instant;
+
+    static COUNTERS: [AtomicU64; NUM_COUNTERS] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    fn phases() -> &'static Mutex<Vec<PhaseStat>> {
+        static PHASES: OnceLock<Mutex<Vec<PhaseStat>>> = OnceLock::new();
+        PHASES.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    fn exclusive_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    #[inline]
+    pub fn add(counter: Counter, n: u64) {
+        if n > 0 {
+            COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn get(counter: Counter) -> u64 {
+        COUNTERS[counter as usize].load(Ordering::Relaxed)
+    }
+
+    pub fn reset() {
+        for c in &COUNTERS {
+            c.store(0, Ordering::Relaxed);
+        }
+        phases().lock().expect("phase registry poisoned").clear();
+    }
+
+    pub fn record_phase(name: &'static str, nanos: u64) {
+        let mut ps = phases().lock().expect("phase registry poisoned");
+        if let Some(p) = ps.iter_mut().find(|p| p.name == name) {
+            p.calls += 1;
+            p.nanos += nanos;
+        } else {
+            ps.push(PhaseStat { name: name.to_string(), calls: 1, nanos });
+        }
+    }
+
+    pub fn snapshot() -> Snapshot {
+        Snapshot {
+            counters: Counter::ALL.iter().map(|&c| (c.name(), get(c))).collect(),
+            phases: phases().lock().expect("phase registry poisoned").clone(),
+        }
+    }
+
+    pub fn exclusive() -> MutexGuard<'static, ()> {
+        match exclusive_lock().lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// RAII phase scope.
+    #[must_use = "the phase is timed until this guard drops"]
+    pub struct PhaseGuard {
+        name: &'static str,
+        start: Instant,
+    }
+
+    pub fn phase(name: &'static str) -> PhaseGuard {
+        PhaseGuard { name, start: Instant::now() }
+    }
+
+    impl Drop for PhaseGuard {
+        fn drop(&mut self) {
+            record_phase(self.name, self.start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Batching counter: increments locally, flushes one atomic add on drop.
+    pub struct LocalCounter {
+        counter: Counter,
+        n: u64,
+    }
+
+    impl LocalCounter {
+        /// Starts batching for `counter`.
+        #[inline(always)]
+        pub fn new(counter: Counter) -> Self {
+            Self { counter, n: 0 }
+        }
+
+        /// Adds `n` to the local batch (no atomic traffic).
+        #[inline(always)]
+        pub fn incr(&mut self, n: u64) {
+            self.n += n;
+        }
+    }
+
+    impl Drop for LocalCounter {
+        fn drop(&mut self) {
+            add(self.counter, self.n);
+        }
+    }
+
+    pub const ENABLED: bool = true;
+}
+
+#[cfg(not(feature = "metrics"))]
+mod imp {
+    //! No-op twins: every function is an empty `#[inline(always)]` stub the
+    //! optimiser erases, so instrumentation costs nothing when disabled.
+    #![allow(clippy::missing_const_for_fn)]
+
+    use super::{Counter, Snapshot};
+
+    #[inline(always)]
+    pub fn add(_counter: Counter, _n: u64) {}
+
+    #[inline(always)]
+    pub fn get(_counter: Counter) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn reset() {}
+
+    #[inline(always)]
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// With metrics off there is no shared state to guard; hand back a unit.
+    #[inline(always)]
+    pub fn exclusive() {}
+
+    /// Unit-like guard; dropping it does nothing.
+    #[must_use = "the phase is timed until this guard drops"]
+    pub struct PhaseGuard;
+
+    #[inline(always)]
+    pub fn phase(_name: &'static str) -> PhaseGuard {
+        PhaseGuard
+    }
+
+    /// Unit-like local counter; `incr` compiles away.
+    pub struct LocalCounter;
+
+    impl LocalCounter {
+        /// Creates an inert counter (metrics disabled).
+        #[inline(always)]
+        pub fn new(_counter: Counter) -> Self {
+            Self
+        }
+
+        /// Discards the increment (metrics disabled).
+        #[inline(always)]
+        pub fn incr(&mut self, _n: u64) {}
+    }
+
+    pub const ENABLED: bool = false;
+}
+
+/// RAII guard returned by [`phase`]; the scope is timed until it drops.
+pub use imp::PhaseGuard;
+
+/// Batching counter for hot loops: increment locally with
+/// [`LocalCounter::incr`], pay one atomic add when it drops. A no-op type
+/// without the `metrics` feature.
+pub use imp::LocalCounter;
+
+/// Adds `n` to a global counter (no-op without the `metrics` feature).
+#[inline(always)]
+pub fn add(counter: Counter, n: u64) {
+    imp::add(counter, n);
+}
+
+/// Current value of a counter (always `0` without the `metrics` feature).
+#[inline(always)]
+pub fn get(counter: Counter) -> u64 {
+    imp::get(counter)
+}
+
+/// Clears every counter and phase timer.
+#[inline(always)]
+pub fn reset() {
+    imp::reset();
+}
+
+/// Starts timing a named phase; the scope ends when the returned guard
+/// drops. Nested and concurrent scopes of the same name accumulate.
+#[inline(always)]
+pub fn phase(name: &'static str) -> PhaseGuard {
+    imp::phase(name)
+}
+
+/// Copies the current counters and phase timers.
+#[inline(always)]
+pub fn snapshot() -> Snapshot {
+    imp::snapshot()
+}
+
+/// True when the `metrics` feature is compiled in.
+#[inline(always)]
+pub const fn enabled() -> bool {
+    imp::ENABLED
+}
+
+/// Serialises tests and measured sections that assert on exact global
+/// counter values: hold the returned guard for the duration of the measured
+/// region so concurrently running instrumented code (e.g. other tests in
+/// the same binary) cannot pollute the delta. With metrics disabled this is
+/// a unit value.
+#[inline(always)]
+#[allow(clippy::unit_arg)] // the no-op imp's guard is a unit by design
+pub fn exclusive() -> impl Drop + Sized {
+    struct Guard<T>(#[allow(dead_code)] T);
+    impl<T> Drop for Guard<T> {
+        fn drop(&mut self) {}
+    }
+    Guard(imp::exclusive())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_shape_is_stable() {
+        let snap = Snapshot {
+            counters: vec![("kernel_evals", 12), ("sort_comparisons", 3)],
+            phases: vec![PhaseStat { name: "cv.sort".into(), calls: 2, nanos: 1_500_000 }],
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"kernel_evals\":12"));
+        assert!(json.contains("\"cv.sort\":{\"calls\":2,\"seconds\":0.001500000"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        let snap = Snapshot::default();
+        assert_eq!(snap.counter("kernel_evals"), 0);
+        assert_eq!(snap.phase_nanos("cv.sort"), 0);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _guard = exclusive();
+        reset();
+        add(Counter::KernelEvals, 5);
+        add(Counter::KernelEvals, 7);
+        {
+            let mut local = LocalCounter::new(Counter::SortComparisons);
+            local.incr(3);
+            local.incr(4);
+        }
+        assert_eq!(get(Counter::KernelEvals), 12);
+        assert_eq!(get(Counter::SortComparisons), 7);
+        let snap = snapshot();
+        assert_eq!(snap.counter("kernel_evals"), 12);
+        reset();
+        assert_eq!(get(Counter::KernelEvals), 0);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn phases_record_calls_and_time() {
+        let _guard = exclusive();
+        reset();
+        for _ in 0..3 {
+            let _p = phase("test.phase");
+            std::hint::black_box(0u64);
+        }
+        let snap = snapshot();
+        let stat = snap.phases.iter().find(|p| p.name == "test.phase").unwrap();
+        assert_eq!(stat.calls, 3);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn counting_is_thread_safe() {
+        let _guard = exclusive();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        add(Counter::MemTransactions, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(get(Counter::MemTransactions), 8_000);
+    }
+
+    #[cfg(not(feature = "metrics"))]
+    #[test]
+    fn disabled_metrics_are_inert() {
+        add(Counter::KernelEvals, 99);
+        assert_eq!(get(Counter::KernelEvals), 0);
+        assert!(snapshot().counters.is_empty());
+        assert!(!enabled());
+    }
+}

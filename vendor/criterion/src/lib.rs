@@ -1,0 +1,192 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the real criterion cannot
+//! be fetched. This crate keeps the workspace's `[[bench]]` targets
+//! compiling and *running*: `b.iter(...)` times the closure over
+//! `sample_size` samples and prints a one-line summary (median, min, max)
+//! per benchmark. There is no statistical analysis, no outlier detection,
+//! and no HTML report — use the `kcv-bench` binaries and
+//! `results/BENCH_report.json` for trend-quality numbers.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark with an input value (the input is simply passed
+    /// through to the closure).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name` with a parameter shown as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), param))
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample, keeping its output alive via
+    /// [`black_box`] so the optimiser cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mut s = bencher.samples;
+    s.sort_by(|a, b| a.total_cmp(b));
+    let median = s[s.len() / 2];
+    println!(
+        "{label:<48} median {} (min {}, max {}, {} samples)",
+        fmt_time(median),
+        fmt_time(s[0]),
+        fmt_time(s[s.len() - 1]),
+        s.len()
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 1), &1, |b, _| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn time_formatting_covers_magnitudes() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no network access and no
+//! pre-populated cargo registry, so the real `rand` cannot be fetched. This
+//! crate re-implements exactly the API surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`]
+//! * [`Rng::random`] for the primitive types the workspace draws
+//!
+//! The generator is SplitMix64 (the same family `kcv_core::util::SplitMix64`
+//! uses), so draws are deterministic and of good statistical quality, but the
+//! *streams differ from upstream `rand`*: code seeded with the same value
+//! will see different numbers than it would with the real crate. Every use in
+//! this workspace only relies on determinism and uniformity, not on specific
+//! upstream streams.
+
+/// Low-level 64-bit generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from an [`RngCore`] (stand-in for
+/// sampling with `StandardUniform`).
+pub trait StandardDraw {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardDraw for f64 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardDraw for f32 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardDraw for u64 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardDraw for u32 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardDraw for usize {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardDraw for bool {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level generator interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value; for floats the range is [0, 1).
+    #[inline]
+    fn random<T: StandardDraw>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from `[low, high)`.
+    #[inline]
+    fn random_range(&mut self, range: core::ops::Range<f64>) -> f64 {
+        range.start + self.random::<f64>() * (range.end - range.start)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators (subset of `rand::rngs`).
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Unlike upstream `StdRng` (ChaCha12) this is not cryptographically
+    /// secure, but it is deterministic, fast, and passes standard uniformity
+    /// tests — all the workspace's data-generating processes need.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn floats_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            let w: f32 = rng.random();
+            assert!((0.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

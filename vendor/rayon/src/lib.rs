@@ -1,0 +1,249 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no network access, so the real rayon cannot be
+//! fetched. This crate implements the subset of the parallel-iterator API the
+//! workspace uses (`into_par_iter`, `map`, `enumerate`, `filter`, `fold`,
+//! `reduce`, `collect`, `min_by`) with genuine data parallelism on
+//! `std::thread::scope`: items are chunked across
+//! `std::thread::available_parallelism()` OS threads.
+//!
+//! Differences from upstream rayon, none of which this workspace relies on:
+//!
+//! * adapters are **eager** (each `map`/`fold` is a full parallel pass over a
+//!   materialised `Vec`) instead of lazily fused work-stealing splits;
+//! * `fold` produces one accumulator per worker chunk rather than one per
+//!   steal, so `reduce` sees far fewer (but semantically identical) merges;
+//! * there is no global thread pool — threads are scoped per call, which adds
+//!   spawn overhead of a few microseconds per pass.
+//!
+//! Ordering guarantees match rayon: `collect` preserves item order, and
+//! `enumerate` indexes items by their original position.
+
+use std::cmp::Ordering;
+
+pub mod prelude {
+    //! Import everything needed for `into_par_iter()` chains.
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+/// Number of worker threads for a parallel pass.
+fn worker_count(items: usize) -> usize {
+    if items < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items)
+}
+
+/// Splits `items` into at most `workers` contiguous chunks, preserving order.
+fn chunked<T>(items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    if workers <= 1 || len < 2 {
+        return vec![items];
+    }
+    let chunk = len.div_ceil(workers);
+    let mut out = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Runs `f` over every chunk on its own scoped thread and returns the
+/// per-chunk results in chunk order, propagating worker panics.
+fn run_chunks<T, R, F>(chunks: Vec<Vec<T>>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> R + Sync,
+{
+    if chunks.len() == 1 {
+        let mut chunks = chunks;
+        return vec![f(chunks.pop().expect("one chunk"))];
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// An eager parallel iterator over an owned collection of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a [`ParIter`] (stand-in for rayon's trait of the same
+/// name).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_par_iter {
+    ($($ty:ty),+) => {$(
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            fn into_par_iter(self) -> ParIter<$ty> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )+};
+}
+range_par_iter!(usize, u32, u64, i32, i64);
+
+impl<T: Send> ParIter<T> {
+    /// Pairs each item with its index (parallel `enumerate`).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        let workers = worker_count(self.items.len());
+        let chunks = chunked(self.items, workers);
+        let mapped = run_chunks(chunks, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<R>>()
+        });
+        ParIter { items: mapped.into_iter().flatten().collect() }
+    }
+
+    /// Keeps the items satisfying `pred`.
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        ParIter { items: self.items.into_iter().filter(|t| pred(t)).collect() }
+    }
+
+    /// Parallel fold: each worker folds its chunk from a fresh `identity()`
+    /// accumulator; the resulting per-worker accumulators form a new
+    /// [`ParIter`], exactly like rayon's `fold` (with one accumulator per
+    /// worker chunk instead of one per work-stealing split).
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, T) -> A + Sync + Send,
+    {
+        let workers = worker_count(self.items.len());
+        let chunks = chunked(self.items, workers);
+        let accs = run_chunks(chunks, |chunk| {
+            chunk.into_iter().fold(identity(), &fold_op)
+        });
+        ParIter { items: accs }
+    }
+
+    /// Merges all items into one value starting from `identity()`.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, T) -> T + Sync + Send,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Collects the items in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Returns the minimum item under `cmp`, or `None` if empty. Ties
+    /// resolve to the **last** minimal item, matching rayon/std `min_by`.
+    pub fn min_by<F>(self, cmp: F) -> Option<T>
+    where
+        F: Fn(&T, &T) -> Ordering + Sync + Send,
+    {
+        self.items.into_iter().min_by(cmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indexes_by_position() {
+        let out: Vec<(usize, char)> =
+            vec!['a', 'b', 'c'].into_par_iter().enumerate().collect();
+        assert_eq!(out, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn fold_reduce_sums_like_sequential() {
+        let total = (0..10_000usize)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, i| acc + i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn map_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..10_000usize).into_par_iter().map(|i| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            i
+        }).collect::<Vec<_>>();
+        let threads = seen.lock().unwrap().len();
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert!(threads >= cores.min(2), "only {threads} thread(s) used");
+    }
+
+    #[test]
+    fn filter_and_min_by_work() {
+        let min = vec![5.0f64, 1.0, 3.0]
+            .into_par_iter()
+            .filter(|&v| v > 1.5)
+            .min_by(|a, b| a.total_cmp(b));
+        assert_eq!(min, Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        (0..100usize).into_par_iter().map(|i| {
+            if i == 57 {
+                panic!("boom");
+            }
+            i
+        }).collect::<Vec<_>>();
+    }
+}
