@@ -5,10 +5,11 @@
 CARGO ?= cargo
 FLAGS ?= --offline
 
-.PHONY: verify build test test-metrics doc clippy bench-report clean
+.PHONY: verify build test test-metrics doc clippy perf-gate bench-report clean
 
-## The full PR gate: build, tests with metrics off AND on, docs, lints.
-verify: build test test-metrics doc clippy
+## The full PR gate: build, tests with metrics off AND on, docs, lints,
+## and the counter-based performance gate.
+verify: build test test-metrics doc clippy perf-gate
 	@echo "verify: all gates green"
 
 build:
@@ -27,6 +28,13 @@ doc:
 clippy:
 	$(CARGO) clippy $(FLAGS) --workspace --all-targets -- -D warnings
 	$(CARGO) clippy $(FLAGS) --workspace --all-targets --features metrics -- -D warnings
+
+## Counter-based perf gate: asserts from results/BENCH_report.json that the
+## merge-sweep's sort comparisons stay O(n log n) and its kernel evals match
+## the sorted sweep's (see crates/bench/src/bin/perf_gate.rs).
+perf-gate:
+	$(CARGO) run $(FLAGS) --release -p kcv-bench --features metrics \
+		--bin perf_gate -- --n 2000 --k 100
 
 ## Regenerate results/BENCH_report.json with live counters (small n).
 bench-report:

@@ -1,9 +1,13 @@
 //! Ablation: the paper's central complexity claim. The naive grid search is
 //! `O(k·n²)`; the sorted sweep is `O(n² log n)` (k nearly free); the
-//! parallel variant divides the per-observation work across cores.
+//! merge-sweep drops the per-observation sort for `O(n log n + n·(n + k))`;
+//! the parallel variants divide the per-observation work across cores.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kcv_core::cv::{cv_profile_naive, cv_profile_sorted, cv_profile_sorted_par};
+use kcv_core::cv::{
+    cv_profile_merged, cv_profile_merged_par, cv_profile_naive, cv_profile_sorted,
+    cv_profile_sorted_par,
+};
 use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
 use kcv_data::{Dgp, PaperDgp};
@@ -12,17 +16,28 @@ use std::hint::black_box;
 fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("cv_strategies");
     group.sample_size(10);
-    for &n in &[200usize, 500, 1_000] {
+    for &n in &[200usize, 500, 1_000, 2_000] {
         let s = PaperDgp.sample(n, 42);
         let grid = BandwidthGrid::paper_default(&s.x, 50).unwrap();
-        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| cv_profile_naive(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
-        });
+        // The naive search is O(k·n²): keep it off the largest size so the
+        // suite stays fast while the sorted-vs-merged contrast at n = 2,000
+        // (the acceptance point for the merge-sweep) is measured.
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| cv_profile_naive(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+            });
+        }
         group.bench_with_input(BenchmarkId::new("sorted", n), &n, |b, _| {
             b.iter(|| cv_profile_sorted(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("sorted_par", n), &n, |b, _| {
             b.iter(|| cv_profile_sorted_par(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("merged", n), &n, |b, _| {
+            b.iter(|| cv_profile_merged(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("merged_par", n), &n, |b, _| {
+            b.iter(|| cv_profile_merged_par(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
         });
     }
     group.finish();
@@ -39,6 +54,9 @@ fn bench_strategies(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("sorted", k), &k, |b, _| {
             b.iter(|| cv_profile_sorted(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("merged", k), &k, |b, _| {
+            b.iter(|| cv_profile_merged(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
         });
     }
     group.finish();

@@ -46,6 +46,7 @@ fn main() {
             wall(Program::RacineHayfield),
             wall(Program::MulticoreR),
             wall(Program::SequentialC),
+            wall(Program::MergedC),
             wall(Program::CudaGpu),
             sim,
         ]);
@@ -54,13 +55,14 @@ fn main() {
             fmt_seconds(wall(Program::RacineHayfield)),
             fmt_seconds(wall(Program::MulticoreR)),
             fmt_seconds(wall(Program::SequentialC)),
+            fmt_seconds(wall(Program::MergedC)),
             fmt_seconds(wall(Program::CudaGpu)),
             fmt_seconds(sim),
         ]);
     }
     write_csv(
         Path::new("results/table1.csv"),
-        &["n", "racine_hayfield", "multicore_r", "sequential_c", "cuda_wall", "cuda_simulated"],
+        &["n", "racine_hayfield", "multicore_r", "sequential_c", "merged_c", "cuda_wall", "cuda_simulated"],
         &csv_rows,
     )
     .expect("write table1.csv");
@@ -69,6 +71,7 @@ fn main() {
         "Racine&Hayfield",
         "Multicore R",
         "Sequential C",
+        "Merged C",
         "CUDA wall",
         "CUDA simulated",
     ]
@@ -81,19 +84,30 @@ fn main() {
     if let Some(&n) = sizes.last() {
         let rh = get(n, Program::RacineHayfield).map_or(f64::NAN, |r| r.wall_seconds);
         let sc = get(n, Program::SequentialC).map_or(f64::NAN, |r| r.wall_seconds);
+        let mc = get(n, Program::MergedC).map_or(f64::NAN, |r| r.wall_seconds);
         let sim = get(n, Program::CudaGpu).and_then(|r| r.simulated_seconds).unwrap_or(f64::NAN);
         let _ = writeln!(
             summary,
             "At n = {n}: sorted grid search beats numerical optimisation by {:.1}×;\n\
+             merge-sweep vs sorted sweep: {:.1}×;\n\
              numerical-opt vs simulated GPU time: {:.1}× (paper at n = 20,000: 7.2×).\n",
             rh / sc,
+            sc / mc,
             rh / sim
         );
     }
     let paper_rows: Vec<Vec<String>> = PAPER_TABLE1
         .iter()
         .map(|&(n, a, b, c, d)| {
-            vec![n.to_string(), fmt_seconds(a), fmt_seconds(b), fmt_seconds(c), fmt_seconds(d), "-".into()]
+            vec![
+                n.to_string(),
+                fmt_seconds(a),
+                fmt_seconds(b),
+                fmt_seconds(c),
+                "-".into(),
+                fmt_seconds(d),
+                "-".into(),
+            ]
         })
         .collect();
     let _ = writeln!(summary, "TABLE I (paper, seconds)\n{}", render(&headers, &paper_rows));
@@ -104,6 +118,7 @@ fn main() {
         ('r', Program::RacineHayfield),
         ('m', Program::MulticoreR),
         ('s', Program::SequentialC),
+        ('c', Program::MergedC),
         ('g', Program::CudaGpu),
     ] {
         series.push(Series {
@@ -183,7 +198,7 @@ fn main() {
     }
     let _ = writeln!(
         summary,
-        "Correctness (§IV-C): all four programs produced bandwidths within 0.1 of each\n\
+        "Correctness (§IV-C): all five programs produced bandwidths within 0.1 of each\n\
          other on {agree}/{total} seeds (max spread {max_spread:.4}); the two grid programs\n\
          agree to within one grid step by construction (see integration tests).\n"
     );

@@ -23,7 +23,8 @@ fn main() {
 
     let mut series = Vec::new();
     let marks = [('r', Program::RacineHayfield), ('m', Program::MulticoreR),
-                 ('s', Program::SequentialC), ('g', Program::CudaGpu)];
+                 ('s', Program::SequentialC), ('c', Program::MergedC),
+                 ('g', Program::CudaGpu)];
     for (mark, program) in marks {
         let points: Vec<(f64, f64)> = rows
             .iter()
@@ -52,6 +53,8 @@ fn main() {
                 Program::MulticoreR => 2.0,
                 Program::SequentialC => 3.0,
                 Program::CudaGpu => 4.0,
+                // Beyond the paper's four program codes.
+                Program::MergedC => 5.0,
             },
             r.wall_seconds,
             r.simulated_seconds.unwrap_or(f64::NAN),

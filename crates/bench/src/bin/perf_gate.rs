@@ -1,0 +1,185 @@
+//! Counter-based performance gate over `results/BENCH_report.json`.
+//!
+//! Collects a fresh per-strategy report at a small fixed `(n, k)` point,
+//! writes it to the report path, then re-reads the file and asserts the
+//! merge-sweep's complexity contract from the JSON itself:
+//!
+//! 1. `merged` sort comparisons stay `O(n log n)` — hard ceiling
+//!    `3 · n · ceil(log2 n)` (one global argsort; a per-observation sort
+//!    would be `Θ(n² log n)` and blow straight through it);
+//! 2. `merged` kernel evaluations equal the sorted sweep's exactly (the
+//!    merge changes how neighbours are *ordered*, never which neighbours
+//!    are *evaluated*);
+//! 3. at `n ≥ 2,000` the sorted sweep spends at least 100× more sort
+//!    comparisons than the merge-sweep;
+//! 4. both grid strategies select the identical bandwidth.
+//!
+//! Exits non-zero on the first violated invariant, so `make verify` and CI
+//! fail if a regression reintroduces per-observation sorting. Requires a
+//! `--features metrics` build (the gate refuses to pass on a report with
+//! counters disabled).
+//!
+//! Usage: `cargo run -p kcv-bench --features metrics --bin perf_gate --
+//! [--n N] [--k K] [--out results/BENCH_report.json]`
+
+use kcv_bench::report::{collect_report, ReportConfig};
+use kcv_bench::table::{arg_parse, arg_value};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Extracts one strategy's JSON object (from its `"name"` key to the start
+/// of the next strategy or the end of the array) out of a report string.
+fn strategy_slice<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("{{\"name\":\"{name}\"");
+    let start = json.find(&needle)?;
+    let rest = &json[start + needle.len()..];
+    let end = rest.find("{\"name\":\"").map_or(rest.len(), |e| e);
+    Some(&rest[..end])
+}
+
+/// Reads an unsigned integer field (`"key":123`) from a JSON slice.
+fn u64_field(slice: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = slice.find(&needle)? + needle.len();
+    let digits: String = slice[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Reads a float field (`"key":0.125`) from a JSON slice.
+fn f64_field(slice: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = slice.find(&needle)? + needle.len();
+    let num: String = slice[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n = arg_parse(&args, "--n", 2_000usize);
+    let k = arg_parse(&args, "--k", 100usize);
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "results/BENCH_report.json".into());
+
+    eprintln!("perf gate: collecting BENCH report at n = {n}, k = {k}…");
+    let report = match collect_report(ReportConfig { n, k, seed: 42 }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf gate: report collection failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = Path::new(&out);
+    if let Some(dir) = path.parent() {
+        if std::fs::create_dir_all(dir).is_err() {
+            eprintln!("perf gate: cannot create {}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if std::fs::write(path, report.to_json()).is_err() {
+        eprintln!("perf gate: cannot write {}", path.display());
+        return ExitCode::FAILURE;
+    }
+    // Assert from the file, not the in-memory report: the gate's contract is
+    // over what downstream tooling will actually read.
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("perf gate: cannot read back {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !json.contains("\"metrics_enabled\":true") {
+        eprintln!(
+            "perf gate: FAIL — counters disabled in the report; run with \
+             `cargo run -p kcv-bench --features metrics --bin perf_gate`"
+        );
+        return ExitCode::FAILURE;
+    }
+    let (Some(sorted), Some(merged)) =
+        (strategy_slice(&json, "sorted"), strategy_slice(&json, "merged"))
+    else {
+        eprintln!("perf gate: FAIL — report lacks sorted/merged strategy entries");
+        return ExitCode::FAILURE;
+    };
+    let field = |slice: &str, key: &str| u64_field(slice, key).unwrap_or(0);
+
+    let mut failures = 0u32;
+    let mut check = |label: &str, ok: bool, detail: String| {
+        if ok {
+            println!("perf gate: PASS — {label} ({detail})");
+        } else {
+            println!("perf gate: FAIL — {label} ({detail})");
+            failures += 1;
+        }
+    };
+
+    // 1. One global argsort: O(n log n) comparison ceiling.
+    let log2n = (n as f64).log2().ceil() as u64;
+    let ceiling = 3 * n as u64 * log2n;
+    let merged_cmps = field(merged, "sort_comparisons");
+    check(
+        "merged sort comparisons stay O(n log n)",
+        merged_cmps <= ceiling,
+        format!("{merged_cmps} <= {ceiling}"),
+    );
+
+    // 2. Identical support walk: kernel evals match the sorted sweep's.
+    let (se, me) = (field(sorted, "kernel_evals"), field(merged, "kernel_evals"));
+    check("merged kernel evals equal sorted sweep's", me == se, format!("{me} == {se}"));
+
+    // 3. The point of the PR: ≥100× fewer sort comparisons at n ≥ 2,000.
+    let sorted_cmps = field(sorted, "sort_comparisons");
+    if n >= 2_000 {
+        check(
+            "sorted sweep sorts >= 100x more than merged",
+            sorted_cmps >= 100 * merged_cmps.max(1),
+            format!("{sorted_cmps} >= 100 * {merged_cmps}"),
+        );
+    } else {
+        println!("perf gate: skip — 100x ratio asserted only at n >= 2,000 (n = {n})");
+    }
+
+    // 4. Same selected bandwidth.
+    let (sb, mb) = (f64_field(sorted, "bandwidth"), f64_field(merged, "bandwidth"));
+    check("sorted and merged select the same bandwidth", sb == mb, format!("{sb:?} == {mb:?}"));
+
+    if failures == 0 {
+        println!("perf gate: all invariants hold (n = {n}, k = {k}, report: {})", path.display());
+        ExitCode::SUCCESS
+    } else {
+        println!("perf gate: {failures} invariant(s) violated");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "{\"version\":1,\"metrics_enabled\":true,\"strategies\":[\
+        {\"name\":\"sorted\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
+        \"kernel_evals\":90,\"sort_comparisons\":4000}}},\
+        {\"name\":\"merged\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
+        \"kernel_evals\":90,\"sort_comparisons\":35}}}]}";
+
+    #[test]
+    fn strategy_slice_isolates_one_entry() {
+        let sorted = strategy_slice(SAMPLE, "sorted").unwrap();
+        assert!(sorted.contains("\"sort_comparisons\":4000"));
+        assert!(!sorted.contains("\"sort_comparisons\":35"));
+        let merged = strategy_slice(SAMPLE, "merged").unwrap();
+        assert_eq!(u64_field(merged, "sort_comparisons"), Some(35));
+        assert!(strategy_slice(SAMPLE, "gpu-sim").is_none());
+    }
+
+    #[test]
+    fn field_parsers_read_numbers() {
+        let merged = strategy_slice(SAMPLE, "merged").unwrap();
+        assert_eq!(u64_field(merged, "kernel_evals"), Some(90));
+        assert_eq!(f64_field(merged, "bandwidth"), Some(0.125));
+        assert_eq!(u64_field(merged, "missing"), None);
+    }
+}

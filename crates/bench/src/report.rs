@@ -32,7 +32,10 @@
 //! }
 //! ```
 
-use kcv_core::cv::{cv_profile_naive, cv_profile_sorted, cv_profile_sorted_par};
+use kcv_core::cv::{
+    cv_profile_merged, cv_profile_merged_par, cv_profile_naive, cv_profile_sorted,
+    cv_profile_sorted_par,
+};
 use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
 use kcv_gpu::{select_bandwidth_gpu, GpuConfig};
@@ -44,7 +47,8 @@ use std::time::Instant;
 pub const REPORT_VERSION: u32 = 1;
 
 /// The strategies a report covers, in emission order.
-pub const STRATEGIES: [&str; 4] = ["naive", "sorted", "parallel", "gpu-sim"];
+pub const STRATEGIES: [&str; 6] =
+    ["naive", "sorted", "parallel", "merged", "merged-par", "gpu-sim"];
 
 /// The `(n, k, seed)` point a report was measured at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,8 +122,8 @@ impl PerfReport {
     }
 }
 
-/// Runs all four strategies at one `(n, k)` point on the paper DGP and
-/// collects a [`PerfReport`].
+/// Runs every strategy in [`STRATEGIES`] at one `(n, k)` point on the paper
+/// DGP and collects a [`PerfReport`].
 ///
 /// Counters are reset before each strategy, so every snapshot is that
 /// strategy's own delta. The global counters are process-wide: run this
@@ -151,6 +155,18 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
             }
             "parallel" => {
                 let p = cv_profile_sorted_par(&s.x, &s.y, &grid, &Epanechnikov)
+                    .map_err(|e| e.to_string())?;
+                let o = p.argmin().map_err(|e| e.to_string())?;
+                (o.bandwidth, o.score, None)
+            }
+            "merged" => {
+                let p = cv_profile_merged(&s.x, &s.y, &grid, &Epanechnikov)
+                    .map_err(|e| e.to_string())?;
+                let o = p.argmin().map_err(|e| e.to_string())?;
+                (o.bandwidth, o.score, None)
+            }
+            "merged-par" => {
+                let p = cv_profile_merged_par(&s.x, &s.y, &grid, &Epanechnikov)
                     .map_err(|e| e.to_string())?;
                 let o = p.argmin().map_err(|e| e.to_string())?;
                 (o.bandwidth, o.score, None)
@@ -232,6 +248,11 @@ mod tests {
         let sorted = by_name("sorted");
         assert!(sorted.counter("kernel_evals") <= n * (n - 1));
         assert!(sorted.counter("sort_comparisons") > 0);
+        // The merge-sweep walks the same support as the sorted sweep but
+        // replaces the per-observation sorts with one global argsort.
+        let merged = by_name("merged");
+        assert_eq!(merged.counter("kernel_evals"), sorted.counter("kernel_evals"));
+        assert!(merged.counter("sort_comparisons") < sorted.counter("sort_comparisons"));
         // The gpu-sim path reports simulated memory traffic.
         assert!(by_name("gpu-sim").counter("mem_transactions") > 0);
     }

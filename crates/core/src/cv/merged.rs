@@ -1,0 +1,451 @@
+//! The merge-sweep — dropping the per-observation sort entirely.
+//!
+//! The paper's sorted sweep ([`super::sorted`]) pays `O(n log n)` *per
+//! observation* to sort the leave-one-out distances `|X_i − X_l|`, for an
+//! `O(n² log n)` total. With a one-dimensional regressor that sort is
+//! redundant: after a **single** global argsort of `x` (`O(n log n)`), the
+//! observation at sorted position `i` sees its neighbours' distances as the
+//! merge of two already-sorted runs —
+//!
+//! ```text
+//! left  run: x[i] − x[i−1], x[i] − x[i−2], …, x[i] − x[0]      (ascending)
+//! right run: x[i+1] − x[i], x[i+2] − x[i], …, x[n−1] − x[i]    (ascending)
+//! ```
+//!
+//! — so two cursors walking outward from `i` yield the distances in
+//! non-decreasing order with no comparison sort at all. This is the
+//! fast-sum-updating insight of Langrené & Warin (2019) applied to the
+//! paper's LOO-CV objective. Each observation then costs `O(n + k·deg)`
+//! (every neighbour absorbed into the running power sums at most once, plus
+//! one `N/D` assembly per grid bandwidth), for a total of
+//!
+//! ```text
+//! O(n log n + n·(n + k·deg))
+//! ```
+//!
+//! versus the sorted sweep's `O(n² log n + n·k·deg)`. Kernel-evaluation
+//! counts are *identical* to the sorted sweep — the support predicate
+//! `d/h ≤ r` is bitwise the same — only the sort comparisons disappear,
+//! which the `metrics` counters verify exactly.
+//!
+//! The same numerical note as [`super::sorted`] applies: the monomial
+//! expansion loses digits for high-degree kernels in sparse windows; the
+//! naive profile remains the arbitrarily-accurate reference.
+//!
+//! ## When the per-observation sort is still required
+//!
+//! The merge relies on a global total order of the regressor, which only
+//! exists in one dimension. Multivariate regressors (Euclidean or product
+//! kernels over `X ∈ ℝᵈ`) have no single ordering that makes every
+//! observation's distance vector a merge of sorted runs, so the
+//! per-observation sort of [`super::sorted`] remains the general-position
+//! fallback there.
+
+use super::CvProfile;
+use crate::error::{validate_sample, Result};
+use crate::grid::BandwidthGrid;
+use crate::kernels::PolynomialKernel;
+use crate::sort::{apply_permutation, argsort};
+use rayon::prelude::*;
+
+/// Per-observation workspace for the merge-sweep: just the running power
+/// sums. Unlike [`super::sorted::SweepScratch`] there are no `n`-sized
+/// distance/response buffers — the merge reads the globally sorted arrays
+/// in place.
+#[derive(Debug, Clone)]
+pub struct MergeScratch {
+    /// Running `Σ d^j` for `j = 0..=deg`.
+    s: Vec<f64>,
+    /// Running `Σ Y·d^j` for `j = 0..=deg`.
+    sy: Vec<f64>,
+}
+
+impl MergeScratch {
+    /// Creates a workspace for a kernel polynomial of degree `deg`.
+    pub fn new(deg: usize) -> Self {
+        Self { s: vec![0.0; deg + 1], sy: vec![0.0; deg + 1] }
+    }
+}
+
+/// Adds the contribution of the observation at *sorted position* `si` —
+/// `(Y_i − ĝ_{-i}(X_i))² M(X_i)` at every grid bandwidth — into
+/// `sq_sums`/`included`. `xs`/`ys` are `x`/`y` co-sorted ascending by `x`.
+///
+/// Two cursors walk outward from `si`; at each step the smaller of the two
+/// frontier distances is absorbed into the running power sums, so
+/// absorption order is non-decreasing in distance and the ascending grid
+/// pass needs no per-observation sort.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn accumulate_observation_merged(
+    si: usize,
+    xs: &[f64],
+    ys: &[f64],
+    coeffs: &[f64],
+    radius: f64,
+    hs: &[f64],
+    scratch: &mut MergeScratch,
+    sq_sums: &mut [f64],
+    included: &mut [usize],
+) {
+    let deg = coeffs.len() - 1;
+    let n = xs.len();
+    let xi = xs[si];
+    let yi = ys[si];
+
+    scratch.s[..=deg].fill(0.0);
+    scratch.sy[..=deg].fill(0.0);
+
+    // `left` points one past the next left neighbour (si−1, si−2, …, 0);
+    // `right` points at the next right neighbour (si+1, …, n−1).
+    let mut left = si;
+    let mut right = si + 1;
+    let mut taken = 0usize;
+
+    let mut absorbed = kcv_obs::LocalCounter::new(kcv_obs::Counter::KernelEvals);
+    let mut skipped = kcv_obs::LocalCounter::new(kcv_obs::Counter::LooTermsSkipped);
+    for (m, &h) in hs.iter().enumerate() {
+        let inv_h = 1.0 / h;
+        let taken_before = taken;
+        // Absorb every not-yet-seen neighbour within the kernel support,
+        // smaller frontier distance first. The predicate `d·(1/h) ≤ r` is
+        // bitwise-identical to the sorted sweep's and to the pointwise
+        // kernel evaluation's (`|u| > r → 0`), so boundary classifications
+        // — and therefore `included` and the KernelEvals counter — agree
+        // across all strategies. Monotone in h: the cursors never retreat.
+        loop {
+            let dl = if left > 0 { xi - xs[left - 1] } else { f64::INFINITY };
+            let dr = if right < n { xs[right] - xi } else { f64::INFINITY };
+            let (d, yl) = if dl <= dr {
+                if dl * inv_h > radius {
+                    break;
+                }
+                left -= 1;
+                (dl, ys[left])
+            } else {
+                if dr * inv_h > radius {
+                    break;
+                }
+                right += 1;
+                (dr, ys[right - 1])
+            };
+            let mut pw = 1.0;
+            for j in 0..=deg {
+                scratch.s[j] += pw;
+                scratch.sy[j] += yl * pw;
+                pw *= d;
+            }
+            taken += 1;
+        }
+        absorbed.incr((taken - taken_before) as u64);
+        skipped.incr((n - 1 - taken) as u64);
+        // Assemble N and D from the power sums: Σ_j c_j h^{-j} · S_j.
+        let mut hp = 1.0;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for ((&cf, &s_j), &sy_j) in coeffs.iter().zip(&scratch.s).zip(&scratch.sy) {
+            num += cf * hp * sy_j;
+            den += cf * hp * s_j;
+            hp *= inv_h;
+        }
+        if den > 0.0 {
+            let resid = yi - num / den;
+            sq_sums[m] += resid * resid;
+            included[m] += 1;
+        }
+    }
+}
+
+/// Shared prefix of both merge-sweep drivers: the single global argsort of
+/// `x` with `y` carried along.
+fn sort_globally(x: &[f64], y: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let _sort = kcv_obs::phase("cv.argsort");
+    let perm = argsort(x);
+    (apply_permutation(x, &perm), apply_permutation(y, &perm))
+}
+
+/// Computes the CV profile with the merge-sweep, sequentially:
+/// `O(n log n + n·(n + k·deg))` total — no per-observation sort.
+pub fn cv_profile_merged<K: PolynomialKernel + ?Sized>(
+    x: &[f64],
+    y: &[f64],
+    grid: &BandwidthGrid,
+    kernel: &K,
+) -> Result<CvProfile> {
+    let n = validate_sample(x, y, 2)?;
+    let coeffs = kernel.coeffs();
+    let radius = kernel.radius();
+    let k = grid.len();
+    let hs = grid.values();
+
+    let (xs, ys) = sort_globally(x, y);
+
+    let mut sq_sums = vec![0.0; k];
+    let mut included = vec![0usize; k];
+    let mut scratch = MergeScratch::new(coeffs.len() - 1);
+
+    let _merge = kcv_obs::phase("cv.merge");
+    for si in 0..n {
+        accumulate_observation_merged(
+            si, &xs, &ys, coeffs, radius, hs, &mut scratch, &mut sq_sums, &mut included,
+        );
+    }
+
+    let scores = sq_sums.into_iter().map(|s| s / n as f64).collect();
+    Ok(CvProfile { bandwidths: hs.to_vec(), scores, included, n })
+}
+
+/// Per-worker fold state for the parallel merge-sweep.
+struct Acc {
+    sq_sums: Vec<f64>,
+    included: Vec<usize>,
+    scratch: MergeScratch,
+}
+
+/// Parallel merge-sweep CV profile: the global argsort runs once on the
+/// calling thread, then observations are folded across cores. The reduce
+/// identity is a bare `(Vec<f64>, Vec<usize>)` pair — per-worker scratches
+/// live only in the fold accumulators and are never constructed just to be
+/// merged away.
+pub fn cv_profile_merged_par<K: PolynomialKernel + ?Sized>(
+    x: &[f64],
+    y: &[f64],
+    grid: &BandwidthGrid,
+    kernel: &K,
+) -> Result<CvProfile> {
+    let n = validate_sample(x, y, 2)?;
+    let coeffs = kernel.coeffs();
+    let radius = kernel.radius();
+    let k = grid.len();
+    let hs = grid.values();
+    let deg = coeffs.len() - 1;
+
+    let (xs, ys) = sort_globally(x, y);
+    let (xs, ys) = (xs.as_slice(), ys.as_slice());
+
+    let _merge = kcv_obs::phase("cv.merge");
+    let (sq_sums, included) = (0..n)
+        .into_par_iter()
+        .fold(
+            || Acc {
+                sq_sums: vec![0.0; k],
+                included: vec![0usize; k],
+                scratch: MergeScratch::new(deg),
+            },
+            |mut acc, si| {
+                accumulate_observation_merged(
+                    si,
+                    xs,
+                    ys,
+                    coeffs,
+                    radius,
+                    hs,
+                    &mut acc.scratch,
+                    &mut acc.sq_sums,
+                    &mut acc.included,
+                );
+                acc
+            },
+        )
+        .map(|acc| (acc.sq_sums, acc.included))
+        .reduce(|| (vec![0.0; k], vec![0usize; k]), super::parallel::merge_partials);
+
+    let scores = sq_sums.into_iter().map(|s| s / n as f64).collect();
+    Ok(CvProfile { bandwidths: hs.to_vec(), scores, included, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cv::{cv_profile_naive, cv_profile_sorted};
+    use crate::kernels::{polynomial_kernels, Epanechnikov, Quartic, Triangular, Triweight, Uniform};
+    use crate::util::{approx_eq, SplitMix64};
+    use proptest::prelude::*;
+
+    fn paper_dgp(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| 0.5 * v + 10.0 * v * v + 0.5 * rng.next_f64())
+            .collect();
+        (x, y)
+    }
+
+    fn assert_profiles_agree(a: &CvProfile, b: &CvProfile, tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for m in 0..a.len() {
+            assert_eq!(
+                a.included[m], b.included[m],
+                "included mismatch at h={}",
+                a.bandwidths[m]
+            );
+            assert!(
+                approx_eq(a.scores[m], b.scores[m], tol, tol),
+                "score mismatch at h={}: {} vs {}",
+                a.bandwidths[m],
+                a.scores[m],
+                b.scores[m]
+            );
+        }
+    }
+
+    #[test]
+    fn merged_matches_naive_epanechnikov_on_paper_dgp() {
+        let (x, y) = paper_dgp(150, 11);
+        let grid = BandwidthGrid::paper_default(&x, 50).unwrap();
+        let merged = cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+        let naive = cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+        assert_profiles_agree(&merged, &naive, 1e-9);
+    }
+
+    #[test]
+    fn merged_matches_naive_for_every_polynomial_kernel() {
+        let (x, y) = paper_dgp(80, 12);
+        let grid = BandwidthGrid::paper_default(&x, 23).unwrap();
+        macro_rules! check {
+            ($k:expr) => {{
+                let merged = cv_profile_merged(&x, &y, &grid, &$k).unwrap();
+                let naive = cv_profile_naive(&x, &y, &grid, &$k).unwrap();
+                assert_profiles_agree(&merged, &naive, 1e-9);
+            }};
+        }
+        check!(Epanechnikov);
+        check!(Uniform);
+        check!(Triangular);
+        check!(Quartic);
+        check!(Triweight);
+    }
+
+    #[test]
+    fn merged_handles_duplicated_x_values() {
+        // Ties in the global sort: zero distances absorb at the first
+        // bandwidth, and the stable argsort order must not matter.
+        let x = vec![0.2, 0.5, 0.5, 0.5, 0.8, 0.2, 0.9, 0.5];
+        let y = vec![1.0, 2.0, -1.0, 3.0, 0.5, 4.0, 2.5, 0.0];
+        let grid = BandwidthGrid::linear(0.05, 1.0, 25).unwrap();
+        let merged = cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+        let naive = cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+        assert_profiles_agree(&merged, &naive, 1e-9);
+        // Duplicated points have zero-distance neighbours, so they are
+        // included at every bandwidth.
+        assert!(merged.included.iter().all(|&c| c >= 6));
+    }
+
+    #[test]
+    fn merged_matches_naive_on_clustered_design() {
+        // Clusters + outliers: exercises empty windows and M(X_i) = 0.
+        let mut rng = SplitMix64::new(13);
+        let mut x = Vec::new();
+        for c in [0.0, 0.1, 5.0] {
+            for _ in 0..20 {
+                x.push(c + 0.01 * rng.next_f64());
+            }
+        }
+        x.push(100.0); // isolated point
+        let y: Vec<f64> = x.iter().map(|&v| v.sin() + rng.next_f64()).collect();
+        let grid = BandwidthGrid::linear(0.005, 2.0, 40).unwrap();
+        let merged = cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+        let naive = cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+        assert_profiles_agree(&merged, &naive, 1e-9);
+        // The isolated point must be excluded at every grid bandwidth.
+        assert!(merged.included.iter().all(|&c| c < x.len()));
+    }
+
+    #[test]
+    fn merged_works_with_two_observations() {
+        let x = [0.0, 0.5];
+        let y = [1.0, 3.0];
+        let grid = BandwidthGrid::linear(0.1, 1.0, 5).unwrap();
+        let profile = cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+        for (m, &h) in grid.values().iter().enumerate() {
+            if h < 0.5 {
+                assert_eq!(profile.included[m], 0);
+            } else {
+                assert_eq!(profile.included[m], 2);
+                assert!((profile.scores[m] - 4.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_argmin_matches_naive_and_sorted() {
+        for seed in 0..5 {
+            let (x, y) = paper_dgp(120, 100 + seed);
+            let grid = BandwidthGrid::paper_default(&x, 50).unwrap();
+            let a = cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+            let b = cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+            let c = cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+            assert_eq!(a.argmin().unwrap().index, b.argmin().unwrap().index);
+            assert_eq!(a.argmin().unwrap().index, c.argmin().unwrap().index);
+        }
+    }
+
+    #[test]
+    fn parallel_merged_matches_sequential_merged() {
+        let (x, y) = paper_dgp(300, 21);
+        let grid = BandwidthGrid::paper_default(&x, 50).unwrap();
+        let seq = cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+        let par = cv_profile_merged_par(&x, &y, &grid, &Epanechnikov).unwrap();
+        assert_eq!(seq.included, par.included);
+        for m in 0..grid.len() {
+            assert!(
+                approx_eq(seq.scores[m], par.scores[m], 1e-12, 1e-14),
+                "h={}: {} vs {}",
+                grid.values()[m],
+                seq.scores[m],
+                par.scores[m]
+            );
+        }
+    }
+
+    #[test]
+    fn merged_handles_unsorted_input() {
+        // The merge globally re-sorts internally; feeding sorted input must
+        // give identical scores to unsorted input.
+        let (x, y) = paper_dgp(90, 16);
+        let grid = BandwidthGrid::paper_default(&x, 20).unwrap();
+        let unsorted = cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+        let perm = crate::sort::argsort(&x);
+        let xs = crate::sort::apply_permutation(&x, &perm);
+        let ys = crate::sort::apply_permutation(&y, &perm);
+        let sorted_input = cv_profile_merged(&xs, &ys, &grid, &Epanechnikov).unwrap();
+        for m in 0..grid.len() {
+            assert!(approx_eq(unsorted.scores[m], sorted_input.scores[m], 1e-10, 1e-12));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_merged_equals_naive(
+            seed in 0u64..10_000,
+            n in 5usize..60,
+            k in 1usize..30,
+        ) {
+            let (x, y) = paper_dgp(n, seed);
+            let grid = BandwidthGrid::paper_default(&x, k).unwrap();
+            for kernel in polynomial_kernels() {
+                let merged = cv_profile_merged(&x, &y, &grid, &*kernel).unwrap();
+                let naive = cv_profile_naive(&x, &y, &grid, &*kernel).unwrap();
+                // Degree-scaled tolerance: same monomial-cancellation caveat
+                // as the sorted sweep (see `cv::sorted`'s numerical note).
+                let deg = kernel.coeffs().len() - 1;
+                let tol = match deg {
+                    0..=2 => 1e-6,
+                    3..=4 => 1e-4,
+                    _ => 1e-2,
+                };
+                for (m, (&ours, &theirs)) in
+                    merged.scores.iter().zip(&naive.scores).enumerate()
+                {
+                    prop_assert_eq!(merged.included[m], naive.included[m]);
+                    prop_assert!(
+                        approx_eq(ours, theirs, tol, 1e-9),
+                        "kernel {} (deg {deg}) h={}: {ours} vs {theirs}",
+                        kernel.name(), grid.values()[m]
+                    );
+                }
+            }
+        }
+    }
+}

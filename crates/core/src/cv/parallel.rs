@@ -29,16 +29,24 @@ impl Acc {
             scratch: SweepScratch::new(n, deg),
         }
     }
+}
 
-    fn merge(mut self, other: Self) -> Self {
-        for (a, b) in self.sq_sums.iter_mut().zip(&other.sq_sums) {
-            *a += b;
-        }
-        for (a, b) in self.included.iter_mut().zip(&other.included) {
-            *a += b;
-        }
-        self
+/// Element-wise merge for the reduce step. The identity is a bare
+/// `(Vec<f64>, Vec<usize>)` pair: constructing a full [`Acc`] there would
+/// allocate a [`SweepScratch`] (two `n`-capacity buffers) only to merge it
+/// away immediately — the scratch belongs to `fold`'s accumulators, not to
+/// `reduce`'s.
+pub(super) fn merge_partials(
+    (mut sa, mut ia): (Vec<f64>, Vec<usize>),
+    (sb, ib): (Vec<f64>, Vec<usize>),
+) -> (Vec<f64>, Vec<usize>) {
+    for (a, b) in sa.iter_mut().zip(&sb) {
+        *a += b;
     }
+    for (a, b) in ia.iter_mut().zip(&ib) {
+        *a += b;
+    }
+    (sa, ia)
 }
 
 /// Parallel sorted-sweep CV profile — the algorithmic content of the paper's
@@ -58,7 +66,7 @@ pub fn cv_profile_sorted_par<K: PolynomialKernel + ?Sized>(
     let deg = coeffs.len() - 1;
 
     let _sweep = kcv_obs::phase("cv.sweep");
-    let acc = (0..n)
+    let (sq_sums, included) = (0..n)
         .into_par_iter()
         .fold(
             || Acc::new(k, n, deg),
@@ -77,10 +85,11 @@ pub fn cv_profile_sorted_par<K: PolynomialKernel + ?Sized>(
                 acc
             },
         )
-        .reduce(|| Acc::new(k, n, deg), Acc::merge);
+        .map(|acc| (acc.sq_sums, acc.included))
+        .reduce(|| (vec![0.0; k], vec![0usize; k]), merge_partials);
 
-    let scores = acc.sq_sums.into_iter().map(|s| s / n as f64).collect();
-    Ok(CvProfile { bandwidths: hs.to_vec(), scores, included: acc.included, n })
+    let scores = sq_sums.into_iter().map(|s| s / n as f64).collect();
+    Ok(CvProfile { bandwidths: hs.to_vec(), scores, included, n })
 }
 
 /// Parallel naive CV profile — the analogue of the paper's "Multicore R"
@@ -126,18 +135,7 @@ pub fn cv_profile_naive_par<K: Kernel + ?Sized>(
                 (sq, inc)
             },
         )
-        .reduce(
-            || (vec![0.0; k], vec![0usize; k]),
-            |(mut sa, mut ia), (sb, ib)| {
-                for (a, b) in sa.iter_mut().zip(&sb) {
-                    *a += b;
-                }
-                for (a, b) in ia.iter_mut().zip(&ib) {
-                    *a += b;
-                }
-                (sa, ia)
-            },
-        );
+        .reduce(|| (vec![0.0; k], vec![0usize; k]), merge_partials);
 
     let scores = sq_sums.into_iter().map(|s| s / n as f64).collect();
     Ok(CvProfile { bandwidths: hs.to_vec(), scores, included, n })

@@ -82,13 +82,16 @@ pub(crate) fn accumulate_observation(
     let xi = x[i];
     let yi = y[i];
 
-    // Fill the leave-one-out distance / response arrays.
+    // Fill the leave-one-out distance / response arrays. Two branch-free
+    // passes over `x[..i]` and `x[i+1..]` instead of one pass testing
+    // `l == i` on every element.
     scratch.dist.clear();
     scratch.yval.clear();
-    for (l, (&xl, &yl)) in x.iter().zip(y).enumerate() {
-        if l == i {
-            continue;
-        }
+    for (&xl, &yl) in x[..i].iter().zip(&y[..i]) {
+        scratch.dist.push((xi - xl).abs());
+        scratch.yval.push(yl);
+    }
+    for (&xl, &yl) in x[i + 1..].iter().zip(&y[i + 1..]) {
         scratch.dist.push((xi - xl).abs());
         scratch.yval.push(yl);
     }

@@ -2,8 +2,8 @@
 
 pub use crate::ci::{confidence_band, ConfidenceBand};
 pub use crate::cv::{
-    cv_profile_naive, cv_profile_naive_par, cv_profile_sorted, cv_profile_sorted_par, CvOptimum,
-    CvProfile,
+    cv_profile_merged, cv_profile_merged_par, cv_profile_naive, cv_profile_naive_par,
+    cv_profile_sorted, cv_profile_sorted_par, CvOptimum, CvProfile,
 };
 pub use crate::density::{Kde, LscvSelector};
 pub use crate::error::{Error, Result};
@@ -18,5 +18,5 @@ pub use crate::kernels::{
 };
 pub use crate::select::{
     select_bandwidth, BandwidthSelector, GridSpec, NaiveGridSearch, NumericCvSelector,
-    NumericMethod, RuleOfThumbSelector, Selection, SortedGridSearch, ZoomGridSearch,
+    NumericMethod, RuleOfThumbSelector, Selection, SortedGridSearch, Strategy, ZoomGridSearch,
 };

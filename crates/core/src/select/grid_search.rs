@@ -2,11 +2,33 @@
 
 use super::{BandwidthSelector, Selection};
 use crate::cv::{
-    cv_profile_naive, cv_profile_naive_par, cv_profile_sorted, cv_profile_sorted_par, CvProfile,
+    cv_profile_merged, cv_profile_merged_par, cv_profile_naive, cv_profile_naive_par,
+    cv_profile_sorted, cv_profile_sorted_par, CvProfile,
 };
 use crate::error::Result;
 use crate::grid::BandwidthGrid;
 use crate::kernels::{Kernel, PolynomialKernel};
+
+/// Which sweep implementation a [`SortedGridSearch`] runs.
+///
+/// Both strategies compute the identical `CV_lc` profile (up to float
+/// rounding) and absorb each leave-one-out neighbour into the running power
+/// sums at most once; they differ only in how the ascending distance order
+/// is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The paper's per-observation distance sort + ascending grid sweep:
+    /// `O(n² log n)` total. The general-position fallback — it is the form
+    /// that extends to multivariate regressors, where no global ordering of
+    /// `x` exists.
+    #[default]
+    SortedSweep,
+    /// One global `O(n log n)` argsort of `x`, then a two-cursor merge per
+    /// observation: `O(n log n + n·(n + k))` total, no per-observation
+    /// sort. Requires a one-dimensional regressor (the only case the CV
+    /// profile currently covers).
+    MergedSweep,
+}
 
 /// How the selector derives its candidate grid from the data.
 #[derive(Debug, Clone)]
@@ -63,6 +85,7 @@ impl GridSpec {
 pub struct SortedGridSearch<K: PolynomialKernel> {
     kernel: K,
     grid: GridSpec,
+    strategy: Strategy,
     parallel: bool,
     min_included: usize,
 }
@@ -70,12 +93,62 @@ pub struct SortedGridSearch<K: PolynomialKernel> {
 impl<K: PolynomialKernel> SortedGridSearch<K> {
     /// Sequential sorted grid search (the paper's Program 3).
     pub fn new(kernel: K, grid: GridSpec) -> Self {
-        Self { kernel, grid, parallel: false, min_included: 1 }
+        Self { kernel, grid, strategy: Strategy::SortedSweep, parallel: false, min_included: 1 }
     }
 
     /// Parallel (SPMD) sorted grid search (the algorithm of Program 4).
     pub fn parallel(kernel: K, grid: GridSpec) -> Self {
-        Self { kernel, grid, parallel: true, min_included: 1 }
+        Self { kernel, grid, strategy: Strategy::SortedSweep, parallel: true, min_included: 1 }
+    }
+
+    /// Sequential merge-sweep grid search ([`Strategy::MergedSweep`]): the
+    /// per-observation sort replaced by one global argsort and a two-cursor
+    /// merge — `O(n log n + n·(n + k))` instead of `O(n² log n)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kcv_core::prelude::*;
+    /// use kcv_core::select::Strategy;
+    ///
+    /// // Paper DGP: X ~ U(0,1), Y = 0.5X + 10X² + u.
+    /// let mut rng = kcv_core::util::SplitMix64::new(42);
+    /// let x: Vec<f64> = (0..300).map(|_| rng.next_f64()).collect();
+    /// let y: Vec<f64> = x.iter()
+    ///     .map(|&v| 0.5 * v + 10.0 * v * v + 0.5 * rng.next_f64())
+    ///     .collect();
+    ///
+    /// // The merge-sweep selects the same bandwidth as the paper's sorted
+    /// // sweep — it computes the same objective, minus the n sorts.
+    /// let sorted = SortedGridSearch::new(Epanechnikov, GridSpec::PaperDefault(50))
+    ///     .select(&x, &y)
+    ///     .unwrap();
+    /// let merged = SortedGridSearch::merged(Epanechnikov, GridSpec::PaperDefault(50))
+    ///     .select(&x, &y)
+    ///     .unwrap();
+    /// assert_eq!(sorted.bandwidth, merged.bandwidth);
+    ///
+    /// // The builder form reaches the same path.
+    /// let built = SortedGridSearch::new(Epanechnikov, GridSpec::PaperDefault(50))
+    ///     .with_strategy(Strategy::MergedSweep)
+    ///     .select(&x, &y)
+    ///     .unwrap();
+    /// assert_eq!(built.bandwidth, merged.bandwidth);
+    /// ```
+    pub fn merged(kernel: K, grid: GridSpec) -> Self {
+        Self { kernel, grid, strategy: Strategy::MergedSweep, parallel: false, min_included: 1 }
+    }
+
+    /// Parallel merge-sweep grid search (rayon over observations after the
+    /// shared global argsort).
+    pub fn merged_parallel(kernel: K, grid: GridSpec) -> Self {
+        Self { kernel, grid, strategy: Strategy::MergedSweep, parallel: true, min_included: 1 }
+    }
+
+    /// Selects the sweep implementation (see [`Strategy`]).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Requires at least `count` observations to have a defined leave-one-out
@@ -89,10 +162,11 @@ impl<K: PolynomialKernel> SortedGridSearch<K> {
     /// Computes the full CV profile without selecting.
     pub fn profile(&self, x: &[f64], y: &[f64]) -> Result<CvProfile> {
         let grid = self.grid.resolve(x)?;
-        if self.parallel {
-            cv_profile_sorted_par(x, y, &grid, &self.kernel)
-        } else {
-            cv_profile_sorted(x, y, &grid, &self.kernel)
+        match (self.strategy, self.parallel) {
+            (Strategy::SortedSweep, false) => cv_profile_sorted(x, y, &grid, &self.kernel),
+            (Strategy::SortedSweep, true) => cv_profile_sorted_par(x, y, &grid, &self.kernel),
+            (Strategy::MergedSweep, false) => cv_profile_merged(x, y, &grid, &self.kernel),
+            (Strategy::MergedSweep, true) => cv_profile_merged_par(x, y, &grid, &self.kernel),
         }
     }
 }
@@ -134,7 +208,11 @@ impl<K: PolynomialKernel> BandwidthSelector for SortedGridSearch<K> {
 
     fn name(&self) -> String {
         format!(
-            "sorted-grid-{}-{}",
+            "{}-grid-{}-{}",
+            match self.strategy {
+                Strategy::SortedSweep => "sorted",
+                Strategy::MergedSweep => "merged",
+            },
             if self.parallel { "par" } else { "seq" },
             self.kernel.name()
         )
@@ -292,6 +370,34 @@ mod tests {
     }
 
     #[test]
+    fn merged_strategy_agrees_with_sorted_and_naive() {
+        let (x, y) = paper_dgp(180, 37);
+        let spec = GridSpec::PaperDefault(50);
+        let sorted = SortedGridSearch::new(Epanechnikov, spec.clone()).select(&x, &y).unwrap();
+        let merged = SortedGridSearch::merged(Epanechnikov, spec.clone()).select(&x, &y).unwrap();
+        let merged_par =
+            SortedGridSearch::merged_parallel(Epanechnikov, spec.clone()).select(&x, &y).unwrap();
+        let naive = NaiveGridSearch::new(Epanechnikov, spec).select(&x, &y).unwrap();
+        assert!((merged.bandwidth - sorted.bandwidth).abs() < 1e-12);
+        assert!((merged.bandwidth - naive.bandwidth).abs() < 1e-12);
+        assert!((merged.bandwidth - merged_par.bandwidth).abs() < 1e-12);
+        assert_eq!(merged.evaluations, 50);
+    }
+
+    #[test]
+    fn with_strategy_builder_switches_the_sweep() {
+        let (x, y) = paper_dgp(120, 38);
+        let spec = GridSpec::PaperDefault(30);
+        let direct = SortedGridSearch::merged(Epanechnikov, spec.clone()).select(&x, &y).unwrap();
+        let built = SortedGridSearch::new(Epanechnikov, spec)
+            .with_strategy(Strategy::MergedSweep)
+            .select(&x, &y)
+            .unwrap();
+        assert_eq!(direct.bandwidth, built.bandwidth);
+        assert_eq!(direct.score, built.score);
+    }
+
+    #[test]
     fn explicit_grid_is_respected() {
         let (x, y) = paper_dgp(80, 33);
         let grid = BandwidthGrid::from_values(vec![0.2, 0.3, 0.4]).unwrap();
@@ -354,6 +460,14 @@ mod tests {
         assert_eq!(
             NaiveGridSearch::parallel(Gaussian, GridSpec::PaperDefault(5)).name(),
             "naive-grid-par-gaussian"
+        );
+        assert_eq!(
+            SortedGridSearch::merged(Epanechnikov, GridSpec::PaperDefault(5)).name(),
+            "merged-grid-seq-epanechnikov"
+        );
+        assert_eq!(
+            SortedGridSearch::merged_parallel(Epanechnikov, GridSpec::PaperDefault(5)).name(),
+            "merged-grid-par-epanechnikov"
         );
     }
 }

@@ -14,7 +14,7 @@ pub mod grid_search;
 pub mod numeric;
 pub mod rule_of_thumb;
 
-pub use grid_search::{GridSpec, NaiveGridSearch, SortedGridSearch, ZoomGridSearch};
+pub use grid_search::{GridSpec, NaiveGridSearch, SortedGridSearch, Strategy, ZoomGridSearch};
 pub use numeric::{golden_section_min, nelder_mead_1d, NumericCvSelector, NumericMethod, ScalarMin};
 pub use rule_of_thumb::{scott_bandwidth, silverman_bandwidth, Rule, RuleOfThumbSelector};
 

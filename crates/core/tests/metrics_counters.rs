@@ -6,10 +6,14 @@
 
 #![cfg(feature = "metrics")]
 
-use kcv_core::cv::{cv_profile_naive, cv_profile_naive_par, cv_profile_sorted, cv_profile_sorted_par};
+use kcv_core::cv::{
+    cv_profile_merged, cv_profile_merged_par, cv_profile_naive, cv_profile_naive_par,
+    cv_profile_sorted, cv_profile_sorted_par,
+};
 use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
 use kcv_core::sort::sort_with_aux;
+use kcv_core::util::SplitMix64;
 use kcv_obs::Counter;
 
 /// A fixture where every count is computable by hand: x on a unit grid,
@@ -106,6 +110,125 @@ fn parallel_strategies_count_the_same_totals_as_sequential() {
     cv_profile_sorted_par(&x, &y, &grid, &Epanechnikov).unwrap();
     assert_eq!(kcv_obs::get(Counter::KernelEvals), seq_sweep);
     assert_eq!(kcv_obs::get(Counter::SortComparisons), seq_cmps);
+}
+
+fn paper_dgp(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = SplitMix64::new(seed);
+    let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|&v| 0.5 * v + 10.0 * v * v + 0.5 * rng.next_f64())
+        .collect();
+    (x, y)
+}
+
+#[test]
+fn merged_sweep_sort_comparisons_are_one_global_argsort() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = paper_dgp(400, 51);
+    let n = x.len() as u64;
+    let grid = BandwidthGrid::paper_default(&x, 30).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    let merged_cmps = kcv_obs::get(Counter::SortComparisons);
+
+    // The merge-sweep's only comparison sort is the single global argsort
+    // of x: O(n log n), never O(n² log n). std's stable sort does at most
+    // ~n·log2(n) comparisons plus lower-order terms; 3·n·log2(n) is a safe
+    // hard ceiling, and n² is unreachable by two orders of magnitude.
+    let log2n = (n as f64).log2().ceil() as u64;
+    assert!(
+        merged_cmps <= 3 * n * log2n,
+        "merged did {merged_cmps} comparisons, ceiling {}",
+        3 * n * log2n
+    );
+    assert!(merged_cmps >= n - 1, "a real sort must compare: {merged_cmps}");
+}
+
+#[test]
+fn merged_sweep_kernel_evals_equal_sorted_sweep() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = paper_dgp(300, 52);
+    let n = x.len() as u64;
+    let grid = BandwidthGrid::paper_default(&x, 40).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    let sorted_evals = kcv_obs::get(Counter::KernelEvals);
+    let sorted_skips = kcv_obs::get(Counter::LooTermsSkipped);
+
+    kcv_obs::reset();
+    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    let merged_evals = kcv_obs::get(Counter::KernelEvals);
+    let merged_skips = kcv_obs::get(Counter::LooTermsSkipped);
+
+    // The support predicate `d·(1/h) ≤ r` is bitwise-identical between the
+    // two sweeps, so the absorbed-neighbour (KernelEvals) and skipped-term
+    // totals must agree exactly — only the sort comparisons differ.
+    assert_eq!(merged_evals, sorted_evals);
+    assert_eq!(merged_skips, sorted_skips);
+    assert!(merged_evals <= n * (n - 1));
+}
+
+#[test]
+fn merged_parallel_counts_the_same_totals_as_sequential() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = paper_dgp(200, 53);
+    let grid = BandwidthGrid::paper_default(&x, 25).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    let seq_evals = kcv_obs::get(Counter::KernelEvals);
+    let seq_cmps = kcv_obs::get(Counter::SortComparisons);
+
+    kcv_obs::reset();
+    cv_profile_merged_par(&x, &y, &grid, &Epanechnikov).unwrap();
+    assert_eq!(kcv_obs::get(Counter::KernelEvals), seq_evals);
+    assert_eq!(kcv_obs::get(Counter::SortComparisons), seq_cmps);
+}
+
+/// The acceptance bound of the merge-sweep PR: at `n = 2000, k = 100` the
+/// whole profile's sort comparisons drop by ≥ 100× versus the sorted sweep
+/// (one global `O(n log n)` argsort versus `n` per-observation
+/// `O(n log n)` sorts — the asymptotic gap is a factor of ~n).
+#[test]
+fn merged_sweep_cuts_sort_comparisons_by_at_least_100x_at_n2000() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = paper_dgp(2_000, 54);
+    let grid = BandwidthGrid::paper_default(&x, 100).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    let sorted_cmps = kcv_obs::get(Counter::SortComparisons);
+
+    kcv_obs::reset();
+    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    let merged_cmps = kcv_obs::get(Counter::SortComparisons);
+
+    assert!(merged_cmps > 0, "the global argsort must be counted");
+    assert!(
+        sorted_cmps >= 100 * merged_cmps,
+        "expected ≥100× drop, got {sorted_cmps} vs {merged_cmps} ({}×)",
+        sorted_cmps / merged_cmps.max(1)
+    );
+}
+
+#[test]
+fn merged_phase_timers_cover_argsort_and_merge() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = paper_dgp(50, 55);
+    let grid = BandwidthGrid::paper_default(&x, 10).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    let snap = kcv_obs::snapshot();
+    let argsort = snap.phases.iter().find(|p| p.name == "cv.argsort").expect("cv.argsort phase");
+    assert_eq!(argsort.calls, 1, "exactly one global argsort");
+    let merge = snap.phases.iter().find(|p| p.name == "cv.merge").expect("cv.merge phase");
+    assert_eq!(merge.calls, 1);
+    // No per-observation sort phase: the merge-sweep never enters cv.sort.
+    assert!(snap.phases.iter().all(|p| p.name != "cv.sort"));
 }
 
 #[test]

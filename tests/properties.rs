@@ -5,6 +5,9 @@
 use kernelcv::core::cv::{cv_profile_naive, cv_profile_sorted};
 use kernelcv::prelude::*;
 use proptest::prelude::*;
+// Both preludes export a `Strategy`; the proptest trait is the one meant
+// in combinator signatures here.
+use proptest::strategy::Strategy;
 
 /// Builds a valid regression sample from arbitrary pairs (dedup-free, but
 /// with a guaranteed spread in x).
