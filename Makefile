@@ -29,9 +29,11 @@ clippy:
 	$(CARGO) clippy $(FLAGS) --workspace --all-targets -- -D warnings
 	$(CARGO) clippy $(FLAGS) --workspace --all-targets --features metrics -- -D warnings
 
-## Counter-based perf gate: asserts from results/BENCH_report.json that the
-## merge-sweep's sort comparisons stay O(n log n) and its kernel evals match
-## the sorted sweep's (see crates/bench/src/bin/perf_gate.rs).
+## Counter-based perf gate: asserts from one results/BENCH_report.json read
+## that the merge-sweep's sort comparisons stay O(n log n) with kernel evals
+## matching the sorted sweep's, and that the prefix-moment sweep answers
+## every (obs, bandwidth) cell within the n·k·ceil(log2 n) window-query
+## ceiling with zero kernel evals (see crates/bench/src/bin/perf_gate.rs).
 perf-gate:
 	$(CARGO) run $(FLAGS) --release -p kcv-bench --features metrics \
 		--bin perf_gate -- --n 2000 --k 100

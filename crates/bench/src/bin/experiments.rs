@@ -47,6 +47,7 @@ fn main() {
             wall(Program::MulticoreR),
             wall(Program::SequentialC),
             wall(Program::MergedC),
+            wall(Program::PrefixC),
             wall(Program::CudaGpu),
             sim,
         ]);
@@ -56,13 +57,14 @@ fn main() {
             fmt_seconds(wall(Program::MulticoreR)),
             fmt_seconds(wall(Program::SequentialC)),
             fmt_seconds(wall(Program::MergedC)),
+            fmt_seconds(wall(Program::PrefixC)),
             fmt_seconds(wall(Program::CudaGpu)),
             fmt_seconds(sim),
         ]);
     }
     write_csv(
         Path::new("results/table1.csv"),
-        &["n", "racine_hayfield", "multicore_r", "sequential_c", "merged_c", "cuda_wall", "cuda_simulated"],
+        &["n", "racine_hayfield", "multicore_r", "sequential_c", "merged_c", "prefix_c", "cuda_wall", "cuda_simulated"],
         &csv_rows,
     )
     .expect("write table1.csv");
@@ -72,6 +74,7 @@ fn main() {
         "Multicore R",
         "Sequential C",
         "Merged C",
+        "Prefix C",
         "CUDA wall",
         "CUDA simulated",
     ]
@@ -85,14 +88,16 @@ fn main() {
         let rh = get(n, Program::RacineHayfield).map_or(f64::NAN, |r| r.wall_seconds);
         let sc = get(n, Program::SequentialC).map_or(f64::NAN, |r| r.wall_seconds);
         let mc = get(n, Program::MergedC).map_or(f64::NAN, |r| r.wall_seconds);
+        let pc = get(n, Program::PrefixC).map_or(f64::NAN, |r| r.wall_seconds);
         let sim = get(n, Program::CudaGpu).and_then(|r| r.simulated_seconds).unwrap_or(f64::NAN);
         let _ = writeln!(
             summary,
             "At n = {n}: sorted grid search beats numerical optimisation by {:.1}×;\n\
-             merge-sweep vs sorted sweep: {:.1}×;\n\
+             merge-sweep vs sorted sweep: {:.1}×; prefix-moments vs merge-sweep: {:.1}×;\n\
              numerical-opt vs simulated GPU time: {:.1}× (paper at n = 20,000: 7.2×).\n",
             rh / sc,
             sc / mc,
+            mc / pc,
             rh / sim
         );
     }
@@ -104,6 +109,7 @@ fn main() {
                 fmt_seconds(a),
                 fmt_seconds(b),
                 fmt_seconds(c),
+                "-".into(),
                 "-".into(),
                 fmt_seconds(d),
                 "-".into(),
@@ -119,6 +125,7 @@ fn main() {
         ('m', Program::MulticoreR),
         ('s', Program::SequentialC),
         ('c', Program::MergedC),
+        ('p', Program::PrefixC),
         ('g', Program::CudaGpu),
     ] {
         series.push(Series {
@@ -198,7 +205,7 @@ fn main() {
     }
     let _ = writeln!(
         summary,
-        "Correctness (§IV-C): all five programs produced bandwidths within 0.1 of each\n\
+        "Correctness (§IV-C): all six programs produced bandwidths within 0.1 of each\n\
          other on {agree}/{total} seeds (max spread {max_spread:.4}); the two grid programs\n\
          agree to within one grid step by construction (see integration tests).\n"
     );

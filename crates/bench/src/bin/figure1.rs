@@ -24,7 +24,7 @@ fn main() {
     let mut series = Vec::new();
     let marks = [('r', Program::RacineHayfield), ('m', Program::MulticoreR),
                  ('s', Program::SequentialC), ('c', Program::MergedC),
-                 ('g', Program::CudaGpu)];
+                 ('p', Program::PrefixC), ('g', Program::CudaGpu)];
     for (mark, program) in marks {
         let points: Vec<(f64, f64)> = rows
             .iter()
@@ -55,6 +55,7 @@ fn main() {
                 Program::CudaGpu => 4.0,
                 // Beyond the paper's four program codes.
                 Program::MergedC => 5.0,
+                Program::PrefixC => 6.0,
             },
             r.wall_seconds,
             r.simulated_seconds.unwrap_or(f64::NAN),

@@ -1,8 +1,9 @@
 //! Counter-based performance gate over `results/BENCH_report.json`.
 //!
 //! Collects a fresh per-strategy report at a small fixed `(n, k)` point,
-//! writes it to the report path, then re-reads the file and asserts the
-//! merge-sweep's complexity contract from the JSON itself:
+//! writes it to the report path, then re-reads the file ONCE and asserts the
+//! merge-sweep's and the prefix-moment sweep's complexity contracts from the
+//! JSON itself, as a single named gate table:
 //!
 //! 1. `merged` sort comparisons stay `O(n log n)` — hard ceiling
 //!    `3 · n · ceil(log2 n)` (one global argsort; a per-observation sort
@@ -12,11 +13,20 @@
 //!    are *evaluated*);
 //! 3. at `n ≥ 2,000` the sorted sweep spends at least 100× more sort
 //!    comparisons than the merge-sweep;
-//! 4. both grid strategies select the identical bandwidth.
+//! 4. the sorted and merged strategies select the identical bandwidth;
+//! 5. `prefix` answers every (obs, bandwidth) cell with binary-search window
+//!    queries — counted once per cell, so the count is bounded by
+//!    `n · k · ceil(log2 n)` (a per-neighbour scan has no business here);
+//! 6. `prefix` and `prefix-par` evaluate the kernel **zero** times — every
+//!    score comes from prefix-sum differencing, never a neighbour visit;
+//! 7. `prefix` actually ran its window machinery (queries > 0);
+//! 8. `prefix` and `prefix-par` select the same bandwidth as the sorted
+//!    sweep.
 //!
-//! Exits non-zero on the first violated invariant, so `make verify` and CI
-//! fail if a regression reintroduces per-observation sorting. Requires a
-//! `--features metrics` build (the gate refuses to pass on a report with
+//! Exits non-zero if any gate fails, printing each gate's verdict and then
+//! naming the failures, so `make verify` and CI fail if a regression
+//! reintroduces per-observation sorting or per-neighbour scanning. Requires
+//! a `--features metrics` build (the gate refuses to pass on a report with
 //! counters disabled).
 //!
 //! Usage: `cargo run -p kcv-bench --features metrics --bin perf_gate --
@@ -56,6 +66,130 @@ fn f64_field(slice: &str, key: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// One gate's verdict: `ok == None` means skipped (with the reason in
+/// `detail`), otherwise pass/fail plus the numbers behind it.
+struct Gate {
+    name: &'static str,
+    ok: Option<bool>,
+    detail: String,
+}
+
+impl Gate {
+    fn pass_if(name: &'static str, ok: bool, detail: String) -> Gate {
+        Gate { name, ok: Some(ok), detail }
+    }
+
+    fn skip(name: &'static str, detail: String) -> Gate {
+        Gate { name, ok: None, detail }
+    }
+}
+
+/// Evaluates every gate against a report JSON string measured at `(n, k)`.
+/// Pure over its inputs so the table is unit-testable without a metrics
+/// build or a filesystem.
+fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
+    let mut gates = Vec::new();
+    if !json.contains("\"metrics_enabled\":true") {
+        gates.push(Gate::pass_if(
+            "metrics enabled in report",
+            false,
+            "counters disabled; run with `cargo run -p kcv-bench --features metrics \
+             --bin perf_gate`"
+                .into(),
+        ));
+        return gates;
+    }
+
+    let (sorted, merged, prefix, prefix_par) = match (
+        strategy_slice(json, "sorted"),
+        strategy_slice(json, "merged"),
+        strategy_slice(json, "prefix"),
+        strategy_slice(json, "prefix-par"),
+    ) {
+        (Some(s), Some(m), Some(p), Some(pp)) => (s, m, p, pp),
+        _ => {
+            gates.push(Gate::pass_if(
+                "report lists sorted/merged/prefix/prefix-par strategies",
+                false,
+                "at least one strategy entry is missing from the report".into(),
+            ));
+            return gates;
+        }
+    };
+    let field = |slice: &str, key: &str| u64_field(slice, key).unwrap_or(0);
+    let log2n = (n as f64).log2().ceil() as u64;
+
+    // --- merge-sweep contract (PR 3) -----------------------------------
+    let cmp_ceiling = 3 * n as u64 * log2n;
+    let merged_cmps = field(merged, "sort_comparisons");
+    gates.push(Gate::pass_if(
+        "merged sort comparisons stay O(n log n)",
+        merged_cmps <= cmp_ceiling,
+        format!("{merged_cmps} <= {cmp_ceiling}"),
+    ));
+
+    let (se, me) = (field(sorted, "kernel_evals"), field(merged, "kernel_evals"));
+    gates.push(Gate::pass_if(
+        "merged kernel evals equal sorted sweep's",
+        me == se,
+        format!("{me} == {se}"),
+    ));
+
+    let sorted_cmps = field(sorted, "sort_comparisons");
+    if n >= 2_000 {
+        gates.push(Gate::pass_if(
+            "sorted sweep sorts >= 100x more than merged",
+            sorted_cmps >= 100 * merged_cmps.max(1),
+            format!("{sorted_cmps} >= 100 * {merged_cmps}"),
+        ));
+    } else {
+        gates.push(Gate::skip(
+            "sorted sweep sorts >= 100x more than merged",
+            format!("ratio asserted only at n >= 2,000 (n = {n})"),
+        ));
+    }
+
+    let sb = f64_field(sorted, "bandwidth");
+    let mb = f64_field(merged, "bandwidth");
+    gates.push(Gate::pass_if(
+        "sorted and merged select the same bandwidth",
+        sb.is_some() && sb == mb,
+        format!("{sb:?} == {mb:?}"),
+    ));
+
+    // --- prefix-moment contract (this PR) ------------------------------
+    let query_ceiling = (n * k) as u64 * log2n;
+    let prefix_queries = field(prefix, "window_queries");
+    gates.push(Gate::pass_if(
+        "prefix window queries stay within n*k*ceil(log2 n)",
+        prefix_queries <= query_ceiling,
+        format!("{prefix_queries} <= {query_ceiling}"),
+    ));
+
+    let (pe, ppe) = (field(prefix, "kernel_evals"), field(prefix_par, "kernel_evals"));
+    gates.push(Gate::pass_if(
+        "prefix sweeps never evaluate the kernel",
+        pe == 0 && ppe == 0,
+        format!("prefix {pe} == 0, prefix-par {ppe} == 0"),
+    ));
+
+    gates.push(Gate::pass_if(
+        "prefix window machinery actually ran",
+        prefix_queries > 0,
+        format!("{prefix_queries} > 0"),
+    ));
+
+    let pb = f64_field(prefix, "bandwidth");
+    let ppb = f64_field(prefix_par, "bandwidth");
+    gates.push(Gate::pass_if(
+        "prefix strategies select the sorted sweep's bandwidth",
+        sb.is_some() && pb == sb && ppb == sb,
+        format!("prefix {pb:?}, prefix-par {ppb:?} == sorted {sb:?}"),
+    ));
+
+    gates
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n = arg_parse(&args, "--n", 2_000usize);
@@ -82,7 +216,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     // Assert from the file, not the in-memory report: the gate's contract is
-    // over what downstream tooling will actually read.
+    // over what downstream tooling will actually read. One read serves every
+    // gate.
     let json = match std::fs::read_to_string(path) {
         Ok(j) => j,
         Err(e) => {
@@ -91,66 +226,25 @@ fn main() -> ExitCode {
         }
     };
 
-    if !json.contains("\"metrics_enabled\":true") {
-        eprintln!(
-            "perf gate: FAIL — counters disabled in the report; run with \
-             `cargo run -p kcv-bench --features metrics --bin perf_gate`"
-        );
-        return ExitCode::FAILURE;
+    let gates = evaluate_gates(&json, n, k);
+    let width = gates.iter().map(|g| g.name.len()).max().unwrap_or(0);
+    for g in &gates {
+        let verdict = match g.ok {
+            Some(true) => "PASS",
+            Some(false) => "FAIL",
+            None => "skip",
+        };
+        println!("perf gate: {verdict} — {:width$} ({})", g.name, g.detail);
     }
-    let (Some(sorted), Some(merged)) =
-        (strategy_slice(&json, "sorted"), strategy_slice(&json, "merged"))
-    else {
-        eprintln!("perf gate: FAIL — report lacks sorted/merged strategy entries");
-        return ExitCode::FAILURE;
-    };
-    let field = |slice: &str, key: &str| u64_field(slice, key).unwrap_or(0);
-
-    let mut failures = 0u32;
-    let mut check = |label: &str, ok: bool, detail: String| {
-        if ok {
-            println!("perf gate: PASS — {label} ({detail})");
-        } else {
-            println!("perf gate: FAIL — {label} ({detail})");
-            failures += 1;
-        }
-    };
-
-    // 1. One global argsort: O(n log n) comparison ceiling.
-    let log2n = (n as f64).log2().ceil() as u64;
-    let ceiling = 3 * n as u64 * log2n;
-    let merged_cmps = field(merged, "sort_comparisons");
-    check(
-        "merged sort comparisons stay O(n log n)",
-        merged_cmps <= ceiling,
-        format!("{merged_cmps} <= {ceiling}"),
-    );
-
-    // 2. Identical support walk: kernel evals match the sorted sweep's.
-    let (se, me) = (field(sorted, "kernel_evals"), field(merged, "kernel_evals"));
-    check("merged kernel evals equal sorted sweep's", me == se, format!("{me} == {se}"));
-
-    // 3. The point of the PR: ≥100× fewer sort comparisons at n ≥ 2,000.
-    let sorted_cmps = field(sorted, "sort_comparisons");
-    if n >= 2_000 {
-        check(
-            "sorted sweep sorts >= 100x more than merged",
-            sorted_cmps >= 100 * merged_cmps.max(1),
-            format!("{sorted_cmps} >= 100 * {merged_cmps}"),
-        );
-    } else {
-        println!("perf gate: skip — 100x ratio asserted only at n >= 2,000 (n = {n})");
-    }
-
-    // 4. Same selected bandwidth.
-    let (sb, mb) = (f64_field(sorted, "bandwidth"), f64_field(merged, "bandwidth"));
-    check("sorted and merged select the same bandwidth", sb == mb, format!("{sb:?} == {mb:?}"));
-
-    if failures == 0 {
+    let failures: Vec<&Gate> = gates.iter().filter(|g| g.ok == Some(false)).collect();
+    if failures.is_empty() {
         println!("perf gate: all invariants hold (n = {n}, k = {k}, report: {})", path.display());
         ExitCode::SUCCESS
     } else {
-        println!("perf gate: {failures} invariant(s) violated");
+        println!("perf gate: {} invariant(s) violated:", failures.len());
+        for g in &failures {
+            println!("perf gate:   - {} ({})", g.name, g.detail);
+        }
         ExitCode::FAILURE
     }
 }
@@ -161,18 +255,32 @@ mod tests {
 
     const SAMPLE: &str = "{\"version\":1,\"metrics_enabled\":true,\"strategies\":[\
         {\"name\":\"sorted\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
-        \"kernel_evals\":90,\"sort_comparisons\":4000}}},\
+        \"kernel_evals\":90,\"sort_comparisons\":400000}}},\
         {\"name\":\"merged\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
-        \"kernel_evals\":90,\"sort_comparisons\":35}}}]}";
+        \"kernel_evals\":90,\"sort_comparisons\":35}}},\
+        {\"name\":\"prefix\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
+        \"kernel_evals\":0,\"window_queries\":200000}}},\
+        {\"name\":\"prefix-par\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
+        \"kernel_evals\":0,\"window_queries\":200000}}}]}";
 
     #[test]
     fn strategy_slice_isolates_one_entry() {
         let sorted = strategy_slice(SAMPLE, "sorted").unwrap();
-        assert!(sorted.contains("\"sort_comparisons\":4000"));
+        assert!(sorted.contains("\"sort_comparisons\":400000"));
         assert!(!sorted.contains("\"sort_comparisons\":35"));
         let merged = strategy_slice(SAMPLE, "merged").unwrap();
         assert_eq!(u64_field(merged, "sort_comparisons"), Some(35));
         assert!(strategy_slice(SAMPLE, "gpu-sim").is_none());
+    }
+
+    #[test]
+    fn strategy_slice_distinguishes_prefix_from_prefix_par() {
+        // The needle carries the closing quote, so "prefix" cannot match the
+        // "prefix-par" entry; emission order makes the plain entry first.
+        let prefix = strategy_slice(SAMPLE, "prefix").unwrap();
+        assert!(prefix.contains("\"window_queries\":200000"));
+        assert!(!prefix.contains("prefix-par"));
+        assert!(strategy_slice(SAMPLE, "prefix-par").is_some());
     }
 
     #[test]
@@ -181,5 +289,87 @@ mod tests {
         assert_eq!(u64_field(merged, "kernel_evals"), Some(90));
         assert_eq!(f64_field(merged, "bandwidth"), Some(0.125));
         assert_eq!(u64_field(merged, "missing"), None);
+    }
+
+    #[test]
+    fn all_gates_pass_on_a_conforming_report() {
+        // n = 2,000, k = 100: ceil(log2 2000) = 11, so the window-query
+        // ceiling is 2,200,000 and the comparison ceiling is 66,000.
+        let gates = evaluate_gates(SAMPLE, 2_000, 100);
+        assert_eq!(gates.len(), 8);
+        assert!(gates.iter().all(|g| g.ok == Some(true)), "{:?}", fails(&gates));
+    }
+
+    #[test]
+    fn ratio_gate_skips_below_two_thousand() {
+        let gates = evaluate_gates(SAMPLE, 1_000, 100);
+        let ratio = gates
+            .iter()
+            .find(|g| g.name.contains("100x"))
+            .unwrap();
+        assert_eq!(ratio.ok, None);
+        assert!(gates.iter().filter(|g| g.ok == Some(false)).count() == 0, "{:?}", fails(&gates));
+    }
+
+    #[test]
+    fn kernel_eval_gate_catches_a_scanning_prefix() {
+        let bad = SAMPLE.replace(
+            "{\"name\":\"prefix\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
+             \"kernel_evals\":0",
+            "{\"name\":\"prefix\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
+             \"kernel_evals\":7",
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(fails(&gates), vec!["prefix sweeps never evaluate the kernel"]);
+    }
+
+    #[test]
+    fn window_query_gate_catches_a_per_probe_count() {
+        // A count above n·k·ceil(log2 n) means queries are being charged per
+        // binary-search probe (or per neighbour), not per cell.
+        let bad = SAMPLE.replace("\"window_queries\":200000", "\"window_queries\":2200001");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert!(fails(&gates)
+            .contains(&"prefix window queries stay within n*k*ceil(log2 n)"));
+    }
+
+    #[test]
+    fn bandwidth_gate_catches_a_prefix_disagreement() {
+        let bad = SAMPLE.replacen(
+            "{\"name\":\"prefix\",\"bandwidth\":0.125000",
+            "{\"name\":\"prefix\",\"bandwidth\":0.250000",
+            1,
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(fails(&gates), vec!["prefix strategies select the sorted sweep's bandwidth"]);
+    }
+
+    #[test]
+    fn merged_gates_still_guard_the_pr3_contract() {
+        let bad = SAMPLE.replace("\"sort_comparisons\":35", "\"sort_comparisons\":9999999");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        let failed = fails(&gates);
+        assert!(failed.contains(&"merged sort comparisons stay O(n log n)"));
+        assert!(failed.contains(&"sorted sweep sorts >= 100x more than merged"));
+    }
+
+    #[test]
+    fn disabled_metrics_fail_the_gate() {
+        let off = SAMPLE.replace("\"metrics_enabled\":true", "\"metrics_enabled\":false");
+        let gates = evaluate_gates(&off, 2_000, 100);
+        assert_eq!(gates.len(), 1);
+        assert_eq!(gates[0].ok, Some(false));
+    }
+
+    #[test]
+    fn missing_strategy_entries_fail_the_gate() {
+        let truncated = SAMPLE.replace("{\"name\":\"prefix-par\"", "{\"name\":\"other\"");
+        let gates = evaluate_gates(&truncated, 2_000, 100);
+        assert_eq!(gates.len(), 1);
+        assert_eq!(gates[0].ok, Some(false));
+    }
+
+    fn fails(gates: &[Gate]) -> Vec<&'static str> {
+        gates.iter().filter(|g| g.ok == Some(false)).map(|g| g.name).collect()
     }
 }

@@ -21,20 +21,26 @@ pub enum Program {
     /// Beyond the paper — "Merged C": the merge-sweep grid search (one
     /// global argsort, no per-observation sort), one core.
     MergedC,
+    /// Beyond the paper — "Prefix C": the prefix-moment grid search (window
+    /// queries over global moment prefix sums, no per-neighbour scan), one
+    /// core.
+    PrefixC,
     /// Program 4 — "CUDA on GPU": the sorted-sweep grid search on the
     /// simulated Tesla S10.
     CudaGpu,
 }
 
 impl Program {
-    /// Every program, in the paper's order (with the merge-sweep slotted
-    /// after the sequential sorted sweep it improves on).
-    pub fn all() -> [Program; 5] {
+    /// Every program, in the paper's order (with the merge-sweep and
+    /// prefix-moment sweeps slotted after the sequential sorted sweep they
+    /// successively improve on).
+    pub fn all() -> [Program; 6] {
         [
             Program::RacineHayfield,
             Program::MulticoreR,
             Program::SequentialC,
             Program::MergedC,
+            Program::PrefixC,
             Program::CudaGpu,
         ]
     }
@@ -46,6 +52,7 @@ impl Program {
             Program::MulticoreR => "Multicore R",
             Program::SequentialC => "Sequential C",
             Program::MergedC => "Merged C",
+            Program::PrefixC => "Prefix C",
             Program::CudaGpu => "CUDA on GPU",
         }
     }
@@ -95,12 +102,12 @@ pub fn run_program(
                 evaluations: bw.evaluations,
             })
         }
-        Program::SequentialC | Program::MergedC => {
+        Program::SequentialC | Program::MergedC | Program::PrefixC => {
             let grid = BandwidthGrid::paper_default(x, k).map_err(|e| e.to_string())?;
-            let profile = if program == Program::MergedC {
-                kcv_core::cv::cv_profile_merged(x, y, &grid, &Epanechnikov)
-            } else {
-                kcv_core::cv::cv_profile_sorted(x, y, &grid, &Epanechnikov)
+            let profile = match program {
+                Program::MergedC => kcv_core::cv::cv_profile_merged(x, y, &grid, &Epanechnikov),
+                Program::PrefixC => kcv_core::cv::cv_profile_prefix(x, y, &grid, &Epanechnikov),
+                _ => kcv_core::cv::cv_profile_sorted(x, y, &grid, &Epanechnikov),
             }
             .map_err(|e| e.to_string())?;
             let opt = profile.argmin().map_err(|e| e.to_string())?;
@@ -173,6 +180,15 @@ mod tests {
         let merged = run_program(Program::MergedC, &s.x, &s.y, 40, 1).unwrap();
         assert_eq!(seq.bandwidth, merged.bandwidth);
         assert!((seq.score - merged.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_and_sequential_c_select_identically() {
+        let s = PaperDgp.sample(250, 10);
+        let seq = run_program(Program::SequentialC, &s.x, &s.y, 40, 1).unwrap();
+        let prefix = run_program(Program::PrefixC, &s.x, &s.y, 40, 1).unwrap();
+        assert_eq!(seq.bandwidth, prefix.bandwidth);
+        assert!((seq.score - prefix.score).abs() < 1e-9);
     }
 
     #[test]

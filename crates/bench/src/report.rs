@@ -33,8 +33,8 @@
 //! ```
 
 use kcv_core::cv::{
-    cv_profile_merged, cv_profile_merged_par, cv_profile_naive, cv_profile_sorted,
-    cv_profile_sorted_par,
+    cv_profile_merged, cv_profile_merged_par, cv_profile_naive, cv_profile_prefix,
+    cv_profile_prefix_par, cv_profile_sorted, cv_profile_sorted_par,
 };
 use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
@@ -47,8 +47,16 @@ use std::time::Instant;
 pub const REPORT_VERSION: u32 = 1;
 
 /// The strategies a report covers, in emission order.
-pub const STRATEGIES: [&str; 6] =
-    ["naive", "sorted", "parallel", "merged", "merged-par", "gpu-sim"];
+pub const STRATEGIES: [&str; 8] = [
+    "naive",
+    "sorted",
+    "parallel",
+    "merged",
+    "merged-par",
+    "prefix",
+    "prefix-par",
+    "gpu-sim",
+];
 
 /// The `(n, k, seed)` point a report was measured at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +179,18 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
                 let o = p.argmin().map_err(|e| e.to_string())?;
                 (o.bandwidth, o.score, None)
             }
+            "prefix" => {
+                let p = cv_profile_prefix(&s.x, &s.y, &grid, &Epanechnikov)
+                    .map_err(|e| e.to_string())?;
+                let o = p.argmin().map_err(|e| e.to_string())?;
+                (o.bandwidth, o.score, None)
+            }
+            "prefix-par" => {
+                let p = cv_profile_prefix_par(&s.x, &s.y, &grid, &Epanechnikov)
+                    .map_err(|e| e.to_string())?;
+                let o = p.argmin().map_err(|e| e.to_string())?;
+                (o.bandwidth, o.score, None)
+            }
             "gpu-sim" => {
                 let run = select_bandwidth_gpu(&s.x, &s.y, &grid, &GpuConfig::default())
                     .map_err(|e| e.to_string())?;
@@ -253,6 +273,14 @@ mod tests {
         let merged = by_name("merged");
         assert_eq!(merged.counter("kernel_evals"), sorted.counter("kernel_evals"));
         assert!(merged.counter("sort_comparisons") < sorted.counter("sort_comparisons"));
+        // The prefix sweep answers every (obs, bandwidth) cell with exactly
+        // one window query and touches no neighbours at all.
+        let prefix = by_name("prefix");
+        assert_eq!(prefix.counter("window_queries"), n * k);
+        assert_eq!(prefix.counter("kernel_evals"), 0);
+        let prefix_par = by_name("prefix-par");
+        assert_eq!(prefix_par.counter("window_queries"), n * k);
+        assert_eq!(prefix_par.counter("kernel_evals"), 0);
         // The gpu-sim path reports simulated memory traffic.
         assert!(by_name("gpu-sim").counter("mem_transactions") > 0);
     }

@@ -41,7 +41,7 @@ pub struct SweepRow {
 }
 
 /// Runs the Figure-1/Table-I sweep: all programs (the paper's four plus
-/// the merge-sweep variant) over the paper's
+/// the merge-sweep and prefix-moment variants) over the paper's
 /// sample sizes up to `max_n`, `k` grid bandwidths, `reps` repetitions,
 /// `nmulti` optimiser restarts. Sizes are generated from the paper DGP with
 /// a fixed seed per `n`.
@@ -106,8 +106,8 @@ mod tests {
     #[test]
     fn small_figure1_sweep_produces_all_cells() {
         let rows = figure1_sweep(100, 10, 1, 1);
-        // 2 sizes × 5 programs.
-        assert_eq!(rows.len(), 10);
+        // 2 sizes × 6 programs.
+        assert_eq!(rows.len(), 12);
         assert!(rows.iter().all(|r| r.wall_seconds >= 0.0));
         assert!(rows
             .iter()

@@ -46,24 +46,40 @@ use crate::error::{validate_sample, Result};
 use crate::grid::BandwidthGrid;
 use crate::kernels::PolynomialKernel;
 use crate::sort::{apply_permutation, argsort};
+use crate::util::NeumaierSum;
 use rayon::prelude::*;
 
 /// Per-observation workspace for the merge-sweep: just the running power
 /// sums. Unlike [`super::sorted::SweepScratch`] there are no `n`-sized
 /// distance/response buffers — the merge reads the globally sorted arrays
 /// in place.
+///
+/// The sums are [`NeumaierSum`]-compensated: each absorbs up to `n − 1`
+/// addends of wildly different magnitude (`d^j` across the whole support),
+/// and compensation keeps the accumulated rounding error `O(ε)` instead of
+/// `O(n·ε)` — the same defence the prefix tables of [`super::prefix`] use.
 #[derive(Debug, Clone)]
 pub struct MergeScratch {
-    /// Running `Σ d^j` for `j = 0..=deg`.
-    s: Vec<f64>,
-    /// Running `Σ Y·d^j` for `j = 0..=deg`.
-    sy: Vec<f64>,
+    /// Running compensated `Σ d^j` for `j = 0..=deg`.
+    s: Vec<NeumaierSum>,
+    /// Running compensated `Σ Y·d^j` for `j = 0..=deg`.
+    sy: Vec<NeumaierSum>,
 }
 
 impl MergeScratch {
     /// Creates a workspace for a kernel polynomial of degree `deg`.
     pub fn new(deg: usize) -> Self {
-        Self { s: vec![0.0; deg + 1], sy: vec![0.0; deg + 1] }
+        Self {
+            s: vec![NeumaierSum::new(); deg + 1],
+            sy: vec![NeumaierSum::new(); deg + 1],
+        }
+    }
+
+    /// Clears every running sum for the next observation.
+    fn reset(&mut self) {
+        for acc in self.s.iter_mut().chain(self.sy.iter_mut()) {
+            acc.reset();
+        }
     }
 }
 
@@ -92,8 +108,7 @@ pub(crate) fn accumulate_observation_merged(
     let xi = xs[si];
     let yi = ys[si];
 
-    scratch.s[..=deg].fill(0.0);
-    scratch.sy[..=deg].fill(0.0);
+    scratch.reset();
 
     // `left` points one past the next left neighbour (si−1, si−2, …, 0);
     // `right` points at the next right neighbour (si+1, …, n−1).
@@ -130,8 +145,8 @@ pub(crate) fn accumulate_observation_merged(
             };
             let mut pw = 1.0;
             for j in 0..=deg {
-                scratch.s[j] += pw;
-                scratch.sy[j] += yl * pw;
+                scratch.s[j].add(pw);
+                scratch.sy[j].add(yl * pw);
                 pw *= d;
             }
             taken += 1;
@@ -142,9 +157,9 @@ pub(crate) fn accumulate_observation_merged(
         let mut hp = 1.0;
         let mut num = 0.0;
         let mut den = 0.0;
-        for ((&cf, &s_j), &sy_j) in coeffs.iter().zip(&scratch.s).zip(&scratch.sy) {
-            num += cf * hp * sy_j;
-            den += cf * hp * s_j;
+        for ((&cf, s_j), sy_j) in coeffs.iter().zip(&scratch.s).zip(&scratch.sy) {
+            num += cf * hp * sy_j.value();
+            den += cf * hp * s_j.value();
             hp *= inv_h;
         }
         if den > 0.0 {

@@ -3,7 +3,7 @@
 use super::{BandwidthSelector, Selection};
 use crate::cv::{
     cv_profile_merged, cv_profile_merged_par, cv_profile_naive, cv_profile_naive_par,
-    cv_profile_sorted, cv_profile_sorted_par, CvProfile,
+    cv_profile_prefix, cv_profile_prefix_par, cv_profile_sorted, cv_profile_sorted_par, CvProfile,
 };
 use crate::error::Result;
 use crate::grid::BandwidthGrid;
@@ -11,10 +11,12 @@ use crate::kernels::{Kernel, PolynomialKernel};
 
 /// Which sweep implementation a [`SortedGridSearch`] runs.
 ///
-/// Both strategies compute the identical `CV_lc` profile (up to float
-/// rounding) and absorb each leave-one-out neighbour into the running power
-/// sums at most once; they differ only in how the ascending distance order
-/// is obtained.
+/// All strategies compute the same `CV_lc` profile under the bit-identical
+/// support predicate `d/h ≤ r`, so they agree exactly on which neighbours
+/// participate at every bandwidth; they differ in how the windowed power
+/// sums are obtained, and (for [`Strategy::PrefixMoments`]) in the rounding
+/// path the scores take — see `kcv_core::cv::prefix` for the documented
+/// tolerance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// The paper's per-observation distance sort + ascending grid sweep:
@@ -28,6 +30,12 @@ pub enum Strategy {
     /// sort. Requires a one-dimensional regressor (the only case the CV
     /// profile currently covers).
     MergedSweep,
+    /// One global argsort plus compensated prefix sums of `x^m`/`y·x^m`,
+    /// then per `(observation, bandwidth)` cell a binary-search support
+    /// window and an `O(deg²)` binomial assembly:
+    /// `O(n log n + n·k·(log n + deg²))` total — no per-neighbour scan at
+    /// all. Requires a one-dimensional regressor.
+    PrefixMoments,
 }
 
 /// How the selector derives its candidate grid from the data.
@@ -145,6 +153,44 @@ impl<K: PolynomialKernel> SortedGridSearch<K> {
         Self { kernel, grid, strategy: Strategy::MergedSweep, parallel: true, min_included: 1 }
     }
 
+    /// Sequential prefix-moment grid search ([`Strategy::PrefixMoments`]):
+    /// the per-neighbour scan replaced by window queries over global
+    /// compensated moment prefix sums — `O(n log n + n·k·(log n + deg²))`
+    /// instead of the merge-sweep's `O(n log n + n·(n + k·deg))`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kcv_core::prelude::*;
+    ///
+    /// // Paper DGP: X ~ U(0,1), Y = 0.5X + 10X² + u.
+    /// let mut rng = kcv_core::util::SplitMix64::new(42);
+    /// let x: Vec<f64> = (0..300).map(|_| rng.next_f64()).collect();
+    /// let y: Vec<f64> = x.iter()
+    ///     .map(|&v| 0.5 * v + 10.0 * v * v + 0.5 * rng.next_f64())
+    ///     .collect();
+    ///
+    /// // The prefix sweep selects the same bandwidth as the paper's sorted
+    /// // sweep: support classification is bit-identical, and the documented
+    /// // score tolerance never moves the argmin on this DGP.
+    /// let sorted = SortedGridSearch::new(Epanechnikov, GridSpec::PaperDefault(50))
+    ///     .select(&x, &y)
+    ///     .unwrap();
+    /// let prefix = SortedGridSearch::prefix(Epanechnikov, GridSpec::PaperDefault(50))
+    ///     .select(&x, &y)
+    ///     .unwrap();
+    /// assert_eq!(sorted.bandwidth, prefix.bandwidth);
+    /// ```
+    pub fn prefix(kernel: K, grid: GridSpec) -> Self {
+        Self { kernel, grid, strategy: Strategy::PrefixMoments, parallel: false, min_included: 1 }
+    }
+
+    /// Parallel prefix-moment grid search (rayon over observations against
+    /// the shared read-only prefix tables).
+    pub fn prefix_par(kernel: K, grid: GridSpec) -> Self {
+        Self { kernel, grid, strategy: Strategy::PrefixMoments, parallel: true, min_included: 1 }
+    }
+
     /// Selects the sweep implementation (see [`Strategy`]).
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
@@ -167,6 +213,8 @@ impl<K: PolynomialKernel> SortedGridSearch<K> {
             (Strategy::SortedSweep, true) => cv_profile_sorted_par(x, y, &grid, &self.kernel),
             (Strategy::MergedSweep, false) => cv_profile_merged(x, y, &grid, &self.kernel),
             (Strategy::MergedSweep, true) => cv_profile_merged_par(x, y, &grid, &self.kernel),
+            (Strategy::PrefixMoments, false) => cv_profile_prefix(x, y, &grid, &self.kernel),
+            (Strategy::PrefixMoments, true) => cv_profile_prefix_par(x, y, &grid, &self.kernel),
         }
     }
 }
@@ -212,6 +260,7 @@ impl<K: PolynomialKernel> BandwidthSelector for SortedGridSearch<K> {
             match self.strategy {
                 Strategy::SortedSweep => "sorted",
                 Strategy::MergedSweep => "merged",
+                Strategy::PrefixMoments => "prefix",
             },
             if self.parallel { "par" } else { "seq" },
             self.kernel.name()
@@ -398,6 +447,34 @@ mod tests {
     }
 
     #[test]
+    fn prefix_strategy_agrees_with_sorted_and_naive() {
+        let (x, y) = paper_dgp(180, 37);
+        let spec = GridSpec::PaperDefault(50);
+        let sorted = SortedGridSearch::new(Epanechnikov, spec.clone()).select(&x, &y).unwrap();
+        let prefix = SortedGridSearch::prefix(Epanechnikov, spec.clone()).select(&x, &y).unwrap();
+        let prefix_par =
+            SortedGridSearch::prefix_par(Epanechnikov, spec.clone()).select(&x, &y).unwrap();
+        let naive = NaiveGridSearch::new(Epanechnikov, spec).select(&x, &y).unwrap();
+        assert_eq!(prefix.bandwidth, sorted.bandwidth);
+        assert_eq!(prefix.bandwidth, naive.bandwidth);
+        assert_eq!(prefix.bandwidth, prefix_par.bandwidth);
+        assert_eq!(prefix.evaluations, 50);
+    }
+
+    #[test]
+    fn prefix_strategy_via_builder_matches_constructor() {
+        let (x, y) = paper_dgp(120, 39);
+        let spec = GridSpec::PaperDefault(30);
+        let direct = SortedGridSearch::prefix(Epanechnikov, spec.clone()).select(&x, &y).unwrap();
+        let built = SortedGridSearch::new(Epanechnikov, spec)
+            .with_strategy(Strategy::PrefixMoments)
+            .select(&x, &y)
+            .unwrap();
+        assert_eq!(direct.bandwidth, built.bandwidth);
+        assert_eq!(direct.score, built.score);
+    }
+
+    #[test]
     fn explicit_grid_is_respected() {
         let (x, y) = paper_dgp(80, 33);
         let grid = BandwidthGrid::from_values(vec![0.2, 0.3, 0.4]).unwrap();
@@ -468,6 +545,14 @@ mod tests {
         assert_eq!(
             SortedGridSearch::merged_parallel(Epanechnikov, GridSpec::PaperDefault(5)).name(),
             "merged-grid-par-epanechnikov"
+        );
+        assert_eq!(
+            SortedGridSearch::prefix(Epanechnikov, GridSpec::PaperDefault(5)).name(),
+            "prefix-grid-seq-epanechnikov"
+        );
+        assert_eq!(
+            SortedGridSearch::prefix_par(Epanechnikov, GridSpec::PaperDefault(5)).name(),
+            "prefix-grid-par-epanechnikov"
         );
     }
 }

@@ -43,6 +43,64 @@ impl SplitMix64 {
     }
 }
 
+/// Neumaier's improved Kahan–Babuška compensated summation.
+///
+/// Keeps a running compensation term alongside the primary sum so that the
+/// accumulated rounding error stays `O(ε)` independent of the number of
+/// addends, where plain summation drifts by `O(n·ε)`. Unlike classic Kahan
+/// summation it also survives the case where the incoming term is larger
+/// than the running sum (the branch picks which operand's low-order bits
+/// were lost), so it is safe for sign-alternating and wildly-scaled inputs
+/// — exactly what the prefix-moment tables of [`crate::cv::prefix`] feed it.
+///
+/// ```
+/// use kcv_core::util::NeumaierSum;
+///
+/// let mut s = NeumaierSum::default();
+/// for v in [1.0, 1e100, 1.0, -1e100] {
+///     s.add(v);
+/// }
+/// // Plain (and Kahan) summation returns 0.0 here; Neumaier recovers 2.0.
+/// assert_eq!(s.value(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NeumaierSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl NeumaierSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` with compensation.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+
+    /// Clears the sum back to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.sum = 0.0;
+        self.comp = 0.0;
+    }
+}
+
 /// Returns the min and max of a slice, ignoring nothing (inputs are assumed
 /// finite; validate first). Returns `None` for an empty slice.
 pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
@@ -172,6 +230,55 @@ mod tests {
         assert!((quantile_sorted(&sorted, 0.25) - 1.75).abs() < 1e-12);
         assert!((quantile_sorted(&sorted, 0.75) - 3.25).abs() < 1e-12);
         assert!((interquartile_range(&[4.0, 1.0, 3.0, 2.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neumaier_recovers_catastrophic_cancellation() {
+        // The canonical case where both plain and Kahan summation lose the
+        // small terms entirely.
+        let mut s = NeumaierSum::new();
+        for v in [1.0, 1e100, 1.0, -1e100] {
+            s.add(v);
+        }
+        assert_eq!(s.value(), 2.0);
+    }
+
+    #[test]
+    fn neumaier_beats_plain_summation_on_long_runs() {
+        // 0.1 is inexact in binary; a long plain sum drifts, the
+        // compensated sum stays within one ulp of the correctly rounded
+        // total.
+        let n = 1_000_000u64;
+        let mut plain = 0.0f64;
+        let mut comp = NeumaierSum::new();
+        for _ in 0..n {
+            plain += 0.1;
+            comp.add(0.1);
+        }
+        let exact = n as f64 * 0.1;
+        assert!((comp.value() - exact).abs() <= (plain - exact).abs());
+        assert!((comp.value() - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neumaier_reset_and_default_are_zero() {
+        let mut s = NeumaierSum::default();
+        assert_eq!(s.value(), 0.0);
+        s.add(3.5);
+        assert_eq!(s.value(), 3.5);
+        s.reset();
+        assert_eq!(s.value(), 0.0);
+    }
+
+    #[test]
+    fn neumaier_matches_plain_sum_on_exact_inputs() {
+        // Power-of-two lattice values sum exactly; compensation must not
+        // perturb an already-exact result.
+        let mut s = NeumaierSum::new();
+        for v in [0.25, 0.5, -0.125, 2.0] {
+            s.add(v);
+        }
+        assert_eq!(s.value(), 0.25 + 0.5 - 0.125 + 2.0);
     }
 
     #[test]

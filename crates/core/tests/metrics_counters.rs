@@ -8,7 +8,7 @@
 
 use kcv_core::cv::{
     cv_profile_merged, cv_profile_merged_par, cv_profile_naive, cv_profile_naive_par,
-    cv_profile_sorted, cv_profile_sorted_par,
+    cv_profile_prefix, cv_profile_prefix_par, cv_profile_sorted, cv_profile_sorted_par,
 };
 use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
@@ -229,6 +229,85 @@ fn merged_phase_timers_cover_argsort_and_merge() {
     assert_eq!(merge.calls, 1);
     // No per-observation sort phase: the merge-sweep never enters cv.sort.
     assert!(snap.phases.iter().all(|p| p.name != "cv.sort"));
+}
+
+#[test]
+fn prefix_sweep_counts_one_window_query_per_cell_and_zero_kernel_evals() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = paper_dgp(400, 61);
+    let n = x.len() as u64;
+    let grid = BandwidthGrid::paper_default(&x, 30).unwrap();
+    let k = grid.len() as u64;
+
+    kcv_obs::reset();
+    cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    // One support-window resolution per (observation, bandwidth) cell —
+    // exactly n·k — and, since each costs at most ~2⌈log₂ n⌉ probes, the
+    // total stays under the n·k·⌈log₂ n⌉ perf-gate ceiling with room to
+    // spare.
+    let queries = kcv_obs::get(Counter::WindowQueries);
+    assert_eq!(queries, n * k);
+    let log2n = (n as f64).log2().ceil() as u64;
+    assert!(queries <= n * k * log2n);
+    // The tentpole claim: the prefix sweep touches no neighbours at all.
+    assert_eq!(kcv_obs::get(Counter::KernelEvals), 0);
+}
+
+#[test]
+fn prefix_skip_count_covers_out_of_window_terms() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = paper_dgp(200, 62);
+    let n = x.len() as u64;
+    let grid = BandwidthGrid::paper_default(&x, 20).unwrap();
+    let k = grid.len() as u64;
+
+    kcv_obs::reset();
+    cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    // Per cell the prefix sweep skips n − (hi − lo) terms (everything
+    // outside the window, including nothing of the per-neighbour work the
+    // scan strategies do inside it) — bounded by the full n·k·n rectangle.
+    let skipped = kcv_obs::get(Counter::LooTermsSkipped);
+    assert!(skipped > 0, "small bandwidths must leave terms outside");
+    assert!(skipped <= n * k * n);
+}
+
+#[test]
+fn prefix_phase_timers_cover_argsort_prefix_and_window() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = paper_dgp(50, 63);
+    let grid = BandwidthGrid::paper_default(&x, 10).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    let snap = kcv_obs::snapshot();
+    let argsort = snap.phases.iter().find(|p| p.name == "cv.argsort").expect("cv.argsort phase");
+    assert_eq!(argsort.calls, 1, "exactly one global argsort");
+    let build = snap.phases.iter().find(|p| p.name == "cv.prefix").expect("cv.prefix phase");
+    assert_eq!(build.calls, 1, "tables built once");
+    let window = snap.phases.iter().find(|p| p.name == "cv.window").expect("cv.window phase");
+    assert_eq!(window.calls, 1);
+    // Neither the per-observation sort nor the merge phase ever runs.
+    assert!(snap.phases.iter().all(|p| p.name != "cv.sort" && p.name != "cv.merge"));
+}
+
+#[test]
+fn prefix_parallel_counts_the_same_totals_as_sequential() {
+    let _guard = kcv_obs::exclusive();
+    let (x, y) = paper_dgp(200, 64);
+    let grid = BandwidthGrid::paper_default(&x, 25).unwrap();
+
+    kcv_obs::reset();
+    cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    let seq_queries = kcv_obs::get(Counter::WindowQueries);
+    let seq_cmps = kcv_obs::get(Counter::SortComparisons);
+    let seq_skips = kcv_obs::get(Counter::LooTermsSkipped);
+
+    kcv_obs::reset();
+    cv_profile_prefix_par(&x, &y, &grid, &Epanechnikov).unwrap();
+    assert_eq!(kcv_obs::get(Counter::WindowQueries), seq_queries);
+    assert_eq!(kcv_obs::get(Counter::SortComparisons), seq_cmps);
+    assert_eq!(kcv_obs::get(Counter::LooTermsSkipped), seq_skips);
+    assert_eq!(kcv_obs::get(Counter::KernelEvals), 0);
 }
 
 #[test]

@@ -85,10 +85,17 @@ pub enum Counter {
     /// Simulated device cycles folded in from `kcv-gpu-sim` launch reports
     /// (rounded to u64).
     GpuSimCycles = 5,
+    /// Support-window resolutions performed by the prefix-moment strategy:
+    /// one per `(observation, bandwidth)` cell (each costs at most
+    /// `~2·⌈log₂ n⌉` binary-search probes into the globally sorted `x`).
+    /// The prefix strategy touches no per-neighbour terms, so its
+    /// `KernelEvals` stays zero while this counter carries its `O(n·k)`
+    /// cost — the contrast the perf gate asserts.
+    WindowQueries = 6,
 }
 
 /// Number of counters (array sizing).
-const NUM_COUNTERS: usize = 6;
+const NUM_COUNTERS: usize = 7;
 
 impl Counter {
     /// Every counter, in serialisation order.
@@ -99,6 +106,7 @@ impl Counter {
         Counter::ObjectiveEvals,
         Counter::MemTransactions,
         Counter::GpuSimCycles,
+        Counter::WindowQueries,
     ];
 
     /// The snake_case name used in snapshots and JSON.
@@ -110,6 +118,7 @@ impl Counter {
             Counter::ObjectiveEvals => "objective_evals",
             Counter::MemTransactions => "mem_transactions",
             Counter::GpuSimCycles => "gpu_sim_cycles",
+            Counter::WindowQueries => "window_queries",
         }
     }
 }
@@ -209,6 +218,7 @@ mod imp {
     use std::time::Instant;
 
     static COUNTERS: [AtomicU64; NUM_COUNTERS] = [
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
