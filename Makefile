@@ -19,8 +19,10 @@ test:
 	$(CARGO) test $(FLAGS) --workspace -q
 
 ## The observability layer changes what compiles; test both feature states.
+## Counters are scoped per `kcv_obs::Recorder`, so the metrics suite runs
+## deliberately multi-threaded — no `exclusive()` serialisation.
 test-metrics:
-	$(CARGO) test $(FLAGS) --workspace --features metrics -q
+	$(CARGO) test $(FLAGS) --workspace --features metrics -q -- --test-threads=8
 
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc $(FLAGS) --workspace --no-deps

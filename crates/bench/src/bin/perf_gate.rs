@@ -253,7 +253,7 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "{\"version\":1,\"metrics_enabled\":true,\"strategies\":[\
+    const SAMPLE: &str = "{\"version\":2,\"metrics_enabled\":true,\"strategies\":[\
         {\"name\":\"sorted\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
         \"kernel_evals\":90,\"sort_comparisons\":400000}}},\
         {\"name\":\"merged\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\

@@ -9,11 +9,20 @@
 //! empty and `metrics_enabled` is `false`, so downstream tooling can tell
 //! "zero because cheap" from "zero because disabled".
 //!
-//! ## Schema (version 1)
+//! Every strategy is measured under its own [`kcv_obs::Recorder`], so the
+//! snapshots are per-run deltas by construction — immune to any other
+//! instrumented code running concurrently in the process.
+//!
+//! ## Schema (version 2)
+//!
+//! Version 2 renamed the per-phase `seconds` field to `cpu_seconds`:
+//! overlapping same-name phase scopes on different rayon workers sum to CPU
+//! time, which legitimately exceeds wall-clock (see the `kcv-obs`
+//! *Phase-timer semantics* rustdoc).
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "metrics_enabled": true,
 //!   "config": {"n": 1000, "k": 50, "seed": 42, "kernel": "epanechnikov"},
 //!   "strategies": [
@@ -25,7 +34,7 @@
 //!       "simulated_seconds": null,
 //!       "obs": {
 //!         "counters": {"kernel_evals": 49950000, "sort_comparisons": 0, ...},
-//!         "phases": {"cv.naive": {"calls": 1, "seconds": 0.0123}, ...}
+//!         "phases": {"cv.naive": {"calls": 1, "cpu_seconds": 0.0123}, ...}
 //!       }
 //!     }
 //!   ]
@@ -44,7 +53,8 @@ use std::time::Instant;
 
 /// Current `BENCH_report.json` schema version. Bump on any breaking change
 /// to the JSON layout and describe the change in EXPERIMENTS.md.
-pub const REPORT_VERSION: u32 = 1;
+/// Version 2: phase timers serialise as `cpu_seconds` (was `seconds`).
+pub const REPORT_VERSION: u32 = 2;
 
 /// The strategies a report covers, in emission order.
 pub const STRATEGIES: [&str; 8] = [
@@ -133,10 +143,9 @@ impl PerfReport {
 /// Runs every strategy in [`STRATEGIES`] at one `(n, k)` point on the paper
 /// DGP and collects a [`PerfReport`].
 ///
-/// Counters are reset before each strategy, so every snapshot is that
-/// strategy's own delta. The global counters are process-wide: run this
-/// while no other instrumented code executes concurrently (the experiments
-/// binary is single-flow, which satisfies that).
+/// Each strategy runs under its own freshly installed [`kcv_obs::Recorder`],
+/// so every snapshot is exactly that strategy's delta even if other
+/// instrumented code executes concurrently elsewhere in the process.
 pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
     let s = {
         use kcv_data::Dgp;
@@ -146,7 +155,8 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
 
     let mut strategies = Vec::with_capacity(STRATEGIES.len());
     for name in STRATEGIES {
-        kcv_obs::reset();
+        let recorder = kcv_obs::Recorder::new();
+        let scope = recorder.install();
         let start = Instant::now();
         let (bandwidth, score, simulated_seconds) = match name {
             "naive" => {
@@ -203,16 +213,16 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
             other => return Err(format!("unknown strategy {other}")),
         };
         let wall_seconds = start.elapsed().as_secs_f64();
+        drop(scope);
         strategies.push(StrategyPerf {
             name,
             bandwidth,
             score,
             wall_seconds,
             simulated_seconds,
-            obs: kcv_obs::snapshot(),
+            obs: recorder.snapshot(),
         });
     }
-    kcv_obs::reset();
     Ok(PerfReport { config, strategies })
 }
 
@@ -233,7 +243,7 @@ mod tests {
         assert!(gpu.simulated_seconds.unwrap() > 0.0);
 
         let json = report.to_json();
-        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.starts_with("{\"version\":2,"));
         for name in STRATEGIES {
             assert!(json.contains(&format!("\"name\":\"{name}\"")), "{json}");
         }
@@ -244,7 +254,8 @@ mod tests {
     #[cfg(feature = "metrics")]
     #[test]
     fn report_records_strategy_counters() {
-        let _guard = kcv_obs::exclusive();
+        // No serialization needed: collect_report measures each strategy
+        // under its own recorder, so concurrent tests cannot pollute it.
         let n = 60u64;
         let k = 8u64;
         let report = collect_report(ReportConfig {

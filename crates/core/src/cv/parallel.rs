@@ -66,11 +66,15 @@ pub fn cv_profile_sorted_par<K: PolynomialKernel + ?Sized>(
     let deg = coeffs.len() - 1;
 
     let _sweep = kcv_obs::phase("cv.sweep");
+    // Scope stacks are thread-local; re-install the caller's recorder scope
+    // on every worker so counts attribute to the run that spawned us.
+    let scope = kcv_obs::scope();
     let (sq_sums, included) = (0..n)
         .into_par_iter()
         .fold(
             || Acc::new(k, n, deg),
             |mut acc, i| {
+                let _in_scope = scope.enter();
                 accumulate_observation(
                     i,
                     x,
@@ -105,11 +109,13 @@ pub fn cv_profile_naive_par<K: Kernel + ?Sized>(
     let hs = grid.values();
 
     let _sweep = kcv_obs::phase("cv.naive");
+    let scope = kcv_obs::scope();
     let (sq_sums, included) = (0..n)
         .into_par_iter()
         .fold(
             || (vec![0.0; k], vec![0usize; k]),
             |(mut sq, mut inc), i| {
+                let _in_scope = scope.enter();
                 let xi = x[i];
                 let yi = y[i];
                 let mut evals = kcv_obs::LocalCounter::new(kcv_obs::Counter::KernelEvals);

@@ -30,7 +30,11 @@ impl BandwidthGrid {
             return Ok(Self { values: vec![min] });
         }
         let step = (max - min) / (count - 1) as f64;
-        let values = (0..count).map(|i| min + step * i as f64).collect();
+        let mut values: Vec<f64> =
+            (0..count).map(|i| min + step * i as f64).collect();
+        // `min + step·(count−1)` can drift an ulp away from (and past) `max`;
+        // the grid promises inclusive endpoints, so pin the last value.
+        values[count - 1] = max;
         Ok(Self { values })
     }
 
@@ -48,7 +52,10 @@ impl BandwidthGrid {
         }
         let (lmin, lmax) = (min.ln(), max.ln());
         let step = (lmax - lmin) / (count - 1) as f64;
-        let values = (0..count).map(|i| (lmin + step * i as f64).exp()).collect();
+        let mut values: Vec<f64> =
+            (0..count).map(|i| (lmin + step * i as f64).exp()).collect();
+        // exp(ln(max)) need not round-trip; pin the endpoint like `linear`.
+        values[count - 1] = max;
         Ok(Self { values })
     }
 
@@ -56,6 +63,11 @@ impl BandwidthGrid {
     /// bandwidths with `max = max(x) − min(x)` (the domain) and
     /// `min = domain / count`.
     pub fn paper_default(x: &[f64], count: usize) -> Result<Self> {
+        // Reject non-finite regressors up front: a NaN would flow through
+        // `min_max` into a misleading "need 0 < min <= max" grid error.
+        if let Some(index) = x.iter().position(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteData { which: "x", index });
+        }
         let (lo, hi) = min_max(x).ok_or(Error::InvalidGrid("empty sample"))?;
         let domain = hi - lo;
         if domain <= 0.0 {
@@ -118,6 +130,12 @@ impl BandwidthGrid {
     /// around `center` (clamped to stay positive) — the "progressively
     /// smaller ranges" zoom of §IV-A.
     pub fn refine_around(&self, center: f64, count: usize) -> Result<Self> {
+        // The zoom target must be a usable bandwidth; a NaN/∞/non-positive
+        // center would otherwise surface as an opaque grid-construction
+        // error (or, for subnormal spans, silently clamp to nonsense).
+        if !center.is_finite() || center <= 0.0 {
+            return Err(Error::InvalidBandwidth(center));
+        }
         let span = if self.values.len() < 2 {
             center * 0.5
         } else {
@@ -176,6 +194,40 @@ mod tests {
     }
 
     #[test]
+    fn linear_grid_last_element_is_exactly_max() {
+        // Awkward (min, max, count) triples where min + step·(count−1)
+        // drifts an ulp off max (upward or downward) without the pin.
+        let cases: &[(f64, f64, usize)] = &[
+            (0.1, 0.3, 3),
+            (0.1, 1.0, 7),
+            (1e-9, 1.0, 49),
+            (0.02, 0.9999999999999999, 1000),
+            (0.3333333333333333, 2.7081828459, 11),
+            (f64::MIN_POSITIVE.sqrt(), 1e-100, 17),
+            (0.1, 1e300, 23),
+        ];
+        for &(min, max, count) in cases {
+            let g = BandwidthGrid::linear(min, max, count).unwrap();
+            assert_eq!(
+                g.max().to_bits(),
+                max.to_bits(),
+                "linear({min}, {max}, {count}) last element drifted"
+            );
+            assert_eq!(g.min().to_bits(), min.to_bits());
+            assert!(
+                g.values().windows(2).all(|w| w[0] < w[1]),
+                "linear({min}, {max}, {count}) not ascending"
+            );
+        }
+    }
+
+    #[test]
+    fn log_grid_last_element_is_exactly_max() {
+        let g = BandwidthGrid::log(0.007, 3.15149, 9).unwrap();
+        assert_eq!(g.max().to_bits(), 3.15149f64.to_bits());
+    }
+
+    #[test]
     fn paper_default_matches_section_iv() {
         // X uniform on [0,1] → domain 1, min = 1/k, max = 1.
         let x = vec![0.0, 0.25, 0.5, 0.75, 1.0];
@@ -191,6 +243,29 @@ mod tests {
             BandwidthGrid::paper_default(&[2.0, 2.0, 2.0], 10).unwrap_err(),
             Error::DegenerateDomain
         );
+    }
+
+    #[test]
+    fn paper_default_rejects_non_finite_x_precisely() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                BandwidthGrid::paper_default(&[0.0, bad, 1.0], 10).unwrap_err(),
+                Error::NonFiniteData { which: "x", index: 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn refine_around_rejects_bad_center() {
+        let g = BandwidthGrid::linear(0.02, 1.0, 50).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.3] {
+            match g.refine_around(bad, 20) {
+                Err(Error::InvalidBandwidth(c)) => {
+                    assert!(c.is_nan() && bad.is_nan() || c == bad);
+                }
+                other => panic!("refine_around({bad}) returned {other:?}"),
+            }
+        }
     }
 
     #[test]

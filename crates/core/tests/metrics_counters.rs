@@ -1,8 +1,9 @@
 //! Counter-correctness tests for the observability layer.
 //!
-//! Only compiled with `--features metrics`; the counters are process-global,
-//! so every test holds `kcv_obs::exclusive()` to serialise against any other
-//! instrumented code in the same binary.
+//! Only compiled with `--features metrics`. Every measured run installs its
+//! own [`kcv_obs::Recorder`], whose counters are private to the run — no
+//! `exclusive()` serialisation against other tests is needed, and the suite
+//! runs correctly on any number of test threads.
 
 #![cfg(feature = "metrics")]
 
@@ -14,7 +15,18 @@ use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
 use kcv_core::sort::sort_with_aux;
 use kcv_core::util::SplitMix64;
-use kcv_obs::Counter;
+use kcv_obs::{Counter, Recorder};
+
+/// Runs `f` under a fresh recorder and hands the recorder back for
+/// assertions: the snapshot is exactly `f`'s delta, whatever else the test
+/// harness runs concurrently.
+fn record(f: impl FnOnce()) -> Recorder {
+    let recorder = Recorder::new();
+    let scope = recorder.install();
+    f();
+    drop(scope);
+    recorder
+}
 
 /// A fixture where every count is computable by hand: x on a unit grid,
 /// arbitrary responses.
@@ -24,34 +36,35 @@ fn tiny_fixture() -> (Vec<f64>, Vec<f64>) {
 
 #[test]
 fn naive_cv_counts_exactly_k_times_n_times_n_minus_1_kernel_evals() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = tiny_fixture();
     let n = x.len() as u64; // 4
     let k = 2u64;
     let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+    let run = record(|| {
+        cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
     // The naive double sum evaluates K((X_i − X_l)/h) for every ordered
     // pair (i, l≠i) at every bandwidth: k·n·(n−1) = 2·4·3 = 24.
-    assert_eq!(kcv_obs::get(Counter::KernelEvals), k * n * (n - 1));
+    assert_eq!(run.get(Counter::KernelEvals), k * n * (n - 1));
 }
 
 #[test]
 fn sorted_sweep_counts_strictly_fewer_kernel_evals_than_naive() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = tiny_fixture();
     let n = x.len() as u64;
     let k = 2u64;
     let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
-    let naive_evals = kcv_obs::get(Counter::KernelEvals);
+    let naive_evals = record(|| {
+        cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+    })
+    .get(Counter::KernelEvals);
 
-    kcv_obs::reset();
-    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
-    let sweep_evals = kcv_obs::get(Counter::KernelEvals);
+    let sweep_evals = record(|| {
+        cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    })
+    .get(Counter::KernelEvals);
 
     // The sweep absorbs each neighbour into the running sums at most once
     // per observation, independent of k: ≤ n·(n−1), and strictly fewer
@@ -66,16 +79,16 @@ fn sorted_sweep_counts_strictly_fewer_kernel_evals_than_naive() {
 
 #[test]
 fn sweep_skip_count_complements_absorbed_terms() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = tiny_fixture();
     let n = x.len() as u64;
     let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
     let k = grid.len() as u64;
 
-    kcv_obs::reset();
-    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
-    let absorbed = kcv_obs::get(Counter::KernelEvals);
-    let skipped = kcv_obs::get(Counter::LooTermsSkipped);
+    let run = record(|| {
+        cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
+    let absorbed = run.get(Counter::KernelEvals);
+    let skipped = run.get(Counter::LooTermsSkipped);
 
     // At each (i, h) the sweep partitions the n−1 leave-one-out terms into
     // in-support (absorbed at some h' ≤ h) and beyond-support (skipped), so
@@ -89,27 +102,27 @@ fn sweep_skip_count_complements_absorbed_terms() {
 
 #[test]
 fn parallel_strategies_count_the_same_totals_as_sequential() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = tiny_fixture();
     let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
-    let seq_naive = kcv_obs::get(Counter::KernelEvals);
+    let seq_naive = record(|| {
+        cv_profile_naive(&x, &y, &grid, &Epanechnikov).unwrap();
+    })
+    .get(Counter::KernelEvals);
 
-    kcv_obs::reset();
-    cv_profile_naive_par(&x, &y, &grid, &Epanechnikov).unwrap();
-    assert_eq!(kcv_obs::get(Counter::KernelEvals), seq_naive);
+    let par_naive = record(|| {
+        cv_profile_naive_par(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
+    assert_eq!(par_naive.get(Counter::KernelEvals), seq_naive);
 
-    kcv_obs::reset();
-    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
-    let seq_sweep = kcv_obs::get(Counter::KernelEvals);
-    let seq_cmps = kcv_obs::get(Counter::SortComparisons);
-
-    kcv_obs::reset();
-    cv_profile_sorted_par(&x, &y, &grid, &Epanechnikov).unwrap();
-    assert_eq!(kcv_obs::get(Counter::KernelEvals), seq_sweep);
-    assert_eq!(kcv_obs::get(Counter::SortComparisons), seq_cmps);
+    let seq = record(|| {
+        cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
+    let par = record(|| {
+        cv_profile_sorted_par(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
+    assert_eq!(par.get(Counter::KernelEvals), seq.get(Counter::KernelEvals));
+    assert_eq!(par.get(Counter::SortComparisons), seq.get(Counter::SortComparisons));
 }
 
 fn paper_dgp(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
@@ -124,14 +137,14 @@ fn paper_dgp(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
 
 #[test]
 fn merged_sweep_sort_comparisons_are_one_global_argsort() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = paper_dgp(400, 51);
     let n = x.len() as u64;
     let grid = BandwidthGrid::paper_default(&x, 30).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
-    let merged_cmps = kcv_obs::get(Counter::SortComparisons);
+    let merged_cmps = record(|| {
+        cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    })
+    .get(Counter::SortComparisons);
 
     // The merge-sweep's only comparison sort is the single global argsort
     // of x: O(n log n), never O(n² log n). std's stable sort does at most
@@ -148,44 +161,38 @@ fn merged_sweep_sort_comparisons_are_one_global_argsort() {
 
 #[test]
 fn merged_sweep_kernel_evals_equal_sorted_sweep() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = paper_dgp(300, 52);
     let n = x.len() as u64;
     let grid = BandwidthGrid::paper_default(&x, 40).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
-    let sorted_evals = kcv_obs::get(Counter::KernelEvals);
-    let sorted_skips = kcv_obs::get(Counter::LooTermsSkipped);
-
-    kcv_obs::reset();
-    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
-    let merged_evals = kcv_obs::get(Counter::KernelEvals);
-    let merged_skips = kcv_obs::get(Counter::LooTermsSkipped);
+    let sorted = record(|| {
+        cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
+    let merged = record(|| {
+        cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
 
     // The support predicate `d·(1/h) ≤ r` is bitwise-identical between the
     // two sweeps, so the absorbed-neighbour (KernelEvals) and skipped-term
     // totals must agree exactly — only the sort comparisons differ.
-    assert_eq!(merged_evals, sorted_evals);
-    assert_eq!(merged_skips, sorted_skips);
-    assert!(merged_evals <= n * (n - 1));
+    assert_eq!(merged.get(Counter::KernelEvals), sorted.get(Counter::KernelEvals));
+    assert_eq!(merged.get(Counter::LooTermsSkipped), sorted.get(Counter::LooTermsSkipped));
+    assert!(merged.get(Counter::KernelEvals) <= n * (n - 1));
 }
 
 #[test]
 fn merged_parallel_counts_the_same_totals_as_sequential() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = paper_dgp(200, 53);
     let grid = BandwidthGrid::paper_default(&x, 25).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
-    let seq_evals = kcv_obs::get(Counter::KernelEvals);
-    let seq_cmps = kcv_obs::get(Counter::SortComparisons);
-
-    kcv_obs::reset();
-    cv_profile_merged_par(&x, &y, &grid, &Epanechnikov).unwrap();
-    assert_eq!(kcv_obs::get(Counter::KernelEvals), seq_evals);
-    assert_eq!(kcv_obs::get(Counter::SortComparisons), seq_cmps);
+    let seq = record(|| {
+        cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
+    let par = record(|| {
+        cv_profile_merged_par(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
+    assert_eq!(par.get(Counter::KernelEvals), seq.get(Counter::KernelEvals));
+    assert_eq!(par.get(Counter::SortComparisons), seq.get(Counter::SortComparisons));
 }
 
 /// The acceptance bound of the merge-sweep PR: at `n = 2000, k = 100` the
@@ -194,17 +201,18 @@ fn merged_parallel_counts_the_same_totals_as_sequential() {
 /// `O(n log n)` sorts — the asymptotic gap is a factor of ~n).
 #[test]
 fn merged_sweep_cuts_sort_comparisons_by_at_least_100x_at_n2000() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = paper_dgp(2_000, 54);
     let grid = BandwidthGrid::paper_default(&x, 100).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
-    let sorted_cmps = kcv_obs::get(Counter::SortComparisons);
+    let sorted_cmps = record(|| {
+        cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    })
+    .get(Counter::SortComparisons);
 
-    kcv_obs::reset();
-    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
-    let merged_cmps = kcv_obs::get(Counter::SortComparisons);
+    let merged_cmps = record(|| {
+        cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    })
+    .get(Counter::SortComparisons);
 
     assert!(merged_cmps > 0, "the global argsort must be counted");
     assert!(
@@ -216,13 +224,13 @@ fn merged_sweep_cuts_sort_comparisons_by_at_least_100x_at_n2000() {
 
 #[test]
 fn merged_phase_timers_cover_argsort_and_merge() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = paper_dgp(50, 55);
     let grid = BandwidthGrid::paper_default(&x, 10).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
-    let snap = kcv_obs::snapshot();
+    let snap = record(|| {
+        cv_profile_merged(&x, &y, &grid, &Epanechnikov).unwrap();
+    })
+    .snapshot();
     let argsort = snap.phases.iter().find(|p| p.name == "cv.argsort").expect("cv.argsort phase");
     assert_eq!(argsort.calls, 1, "exactly one global argsort");
     let merge = snap.phases.iter().find(|p| p.name == "cv.merge").expect("cv.merge phase");
@@ -233,53 +241,53 @@ fn merged_phase_timers_cover_argsort_and_merge() {
 
 #[test]
 fn prefix_sweep_counts_one_window_query_per_cell_and_zero_kernel_evals() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = paper_dgp(400, 61);
     let n = x.len() as u64;
     let grid = BandwidthGrid::paper_default(&x, 30).unwrap();
     let k = grid.len() as u64;
 
-    kcv_obs::reset();
-    cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    let run = record(|| {
+        cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
     // One support-window resolution per (observation, bandwidth) cell —
     // exactly n·k — and, since each costs at most ~2⌈log₂ n⌉ probes, the
     // total stays under the n·k·⌈log₂ n⌉ perf-gate ceiling with room to
     // spare.
-    let queries = kcv_obs::get(Counter::WindowQueries);
+    let queries = run.get(Counter::WindowQueries);
     assert_eq!(queries, n * k);
     let log2n = (n as f64).log2().ceil() as u64;
     assert!(queries <= n * k * log2n);
     // The tentpole claim: the prefix sweep touches no neighbours at all.
-    assert_eq!(kcv_obs::get(Counter::KernelEvals), 0);
+    assert_eq!(run.get(Counter::KernelEvals), 0);
 }
 
 #[test]
 fn prefix_skip_count_covers_out_of_window_terms() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = paper_dgp(200, 62);
     let n = x.len() as u64;
     let grid = BandwidthGrid::paper_default(&x, 20).unwrap();
     let k = grid.len() as u64;
 
-    kcv_obs::reset();
-    cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    let run = record(|| {
+        cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
     // Per cell the prefix sweep skips n − (hi − lo) terms (everything
     // outside the window, including nothing of the per-neighbour work the
     // scan strategies do inside it) — bounded by the full n·k·n rectangle.
-    let skipped = kcv_obs::get(Counter::LooTermsSkipped);
+    let skipped = run.get(Counter::LooTermsSkipped);
     assert!(skipped > 0, "small bandwidths must leave terms outside");
     assert!(skipped <= n * k * n);
 }
 
 #[test]
 fn prefix_phase_timers_cover_argsort_prefix_and_window() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = paper_dgp(50, 63);
     let grid = BandwidthGrid::paper_default(&x, 10).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
-    let snap = kcv_obs::snapshot();
+    let snap = record(|| {
+        cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    })
+    .snapshot();
     let argsort = snap.phases.iter().find(|p| p.name == "cv.argsort").expect("cv.argsort phase");
     assert_eq!(argsort.calls, 1, "exactly one global argsort");
     let build = snap.phases.iter().find(|p| p.name == "cv.prefix").expect("cv.prefix phase");
@@ -292,33 +300,30 @@ fn prefix_phase_timers_cover_argsort_prefix_and_window() {
 
 #[test]
 fn prefix_parallel_counts_the_same_totals_as_sequential() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = paper_dgp(200, 64);
     let grid = BandwidthGrid::paper_default(&x, 25).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
-    let seq_queries = kcv_obs::get(Counter::WindowQueries);
-    let seq_cmps = kcv_obs::get(Counter::SortComparisons);
-    let seq_skips = kcv_obs::get(Counter::LooTermsSkipped);
-
-    kcv_obs::reset();
-    cv_profile_prefix_par(&x, &y, &grid, &Epanechnikov).unwrap();
-    assert_eq!(kcv_obs::get(Counter::WindowQueries), seq_queries);
-    assert_eq!(kcv_obs::get(Counter::SortComparisons), seq_cmps);
-    assert_eq!(kcv_obs::get(Counter::LooTermsSkipped), seq_skips);
-    assert_eq!(kcv_obs::get(Counter::KernelEvals), 0);
+    let seq = record(|| {
+        cv_profile_prefix(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
+    let par = record(|| {
+        cv_profile_prefix_par(&x, &y, &grid, &Epanechnikov).unwrap();
+    });
+    assert_eq!(par.get(Counter::WindowQueries), seq.get(Counter::WindowQueries));
+    assert_eq!(par.get(Counter::SortComparisons), seq.get(Counter::SortComparisons));
+    assert_eq!(par.get(Counter::LooTermsSkipped), seq.get(Counter::LooTermsSkipped));
+    assert_eq!(par.get(Counter::KernelEvals), 0);
 }
 
 #[test]
 fn sort_comparisons_lower_bound_holds() {
-    let _guard = kcv_obs::exclusive();
     let mut keys: Vec<f64> = (0..100).rev().map(|i| i as f64).collect();
     let mut aux = vec![0.0; 100];
 
-    kcv_obs::reset();
-    sort_with_aux(&mut keys, &mut aux);
-    let cmps = kcv_obs::get(Counter::SortComparisons);
+    let cmps = record(|| {
+        sort_with_aux(&mut keys, &mut aux);
+    })
+    .get(Counter::SortComparisons);
     // Sorting 100 reversed keys needs at least n−1 comparisons; quicksort
     // with insertion-sort tails does a small multiple of n log n.
     assert!(cmps >= 99, "only {cmps} comparisons recorded");
@@ -327,15 +332,67 @@ fn sort_comparisons_lower_bound_holds() {
 
 #[test]
 fn phase_timers_cover_sweep_and_sort() {
-    let _guard = kcv_obs::exclusive();
     let (x, y) = tiny_fixture();
     let grid = BandwidthGrid::from_values(vec![0.4, 0.8]).unwrap();
 
-    kcv_obs::reset();
-    cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
-    let snap = kcv_obs::snapshot();
+    let snap = record(|| {
+        cv_profile_sorted(&x, &y, &grid, &Epanechnikov).unwrap();
+    })
+    .snapshot();
     let sweep = snap.phases.iter().find(|p| p.name == "cv.sweep").expect("cv.sweep phase");
     assert_eq!(sweep.calls, 1);
     let sort = snap.phases.iter().find(|p| p.name == "cv.sort").expect("cv.sort phase");
     assert_eq!(sort.calls, x.len() as u64, "one per-observation sort each");
+}
+
+/// The tentpole's acceptance test: two instrumented CV runs executing
+/// *concurrently* in one process must each report exactly the counters
+/// their sequential run reports — bit-identical kernel_evals,
+/// sort_comparisons, and window_queries. Before scoped recorders the
+/// global counters interleaved and both runs saw a corrupted mixture.
+#[test]
+fn concurrent_instrumented_runs_see_only_their_own_counters() {
+    let (xa, ya) = paper_dgp(300, 71);
+    let grid_a = BandwidthGrid::paper_default(&xa, 20).unwrap();
+    let (xb, yb) = paper_dgp(250, 72);
+    let grid_b = BandwidthGrid::paper_default(&xb, 30).unwrap();
+
+    // Sequential baselines, one recorder per run. Run A uses the parallel
+    // sorted sweep and run B the parallel prefix sweep, so the test also
+    // covers scope propagation into rayon workers.
+    let key = |r: &Recorder| {
+        (
+            r.get(Counter::KernelEvals),
+            r.get(Counter::SortComparisons),
+            r.get(Counter::WindowQueries),
+        )
+    };
+    let run_a = || {
+        record(|| {
+            cv_profile_sorted_par(&xa, &ya, &grid_a, &Epanechnikov).unwrap();
+        })
+    };
+    let run_b = || {
+        record(|| {
+            cv_profile_prefix_par(&xb, &yb, &grid_b, &Epanechnikov).unwrap();
+        })
+    };
+    let baseline_a = key(&run_a());
+    let baseline_b = key(&run_b());
+    // The two workloads are distinguishable, so cross-contamination cannot
+    // cancel out.
+    assert_ne!(baseline_a, baseline_b);
+    assert!(baseline_a.0 > 0 && baseline_b.2 > 0);
+
+    // Now the same two runs, genuinely concurrent, several times over to
+    // give interleaving every chance to corrupt the deltas.
+    for round in 0..5 {
+        let (got_a, got_b) = std::thread::scope(|s| {
+            let ha = s.spawn(|| key(&run_a()));
+            let hb = s.spawn(|| key(&run_b()));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert_eq!(got_a, baseline_a, "run A contaminated in round {round}");
+        assert_eq!(got_b, baseline_b, "run B contaminated in round {round}");
+    }
 }

@@ -91,9 +91,13 @@ impl<'a> CooperativeBlock<'a> {
         F: Fn(usize, &[f32], &mut ThreadCounters, &mut SharedWrites) + Sync,
     {
         let shared = &self.shared;
+        // Re-install the caller's recorder scope on each worker so any
+        // observability events the body emits land in the caller's run.
+        let scope = kcv_obs::scope();
         let results: Vec<(ThreadCounters, SharedWrites)> = (0..self.threads)
             .into_par_iter()
             .map(|tid| {
+                let _in_scope = scope.enter();
                 let mut c = ThreadCounters::default();
                 let mut w = SharedWrites::default();
                 body(tid, shared, &mut c, &mut w);

@@ -72,11 +72,16 @@ where
         )));
     }
     let _launch = kcv_obs::phase("gpu.launch");
+    // Simulated kernels may emit observability events (e.g. the device
+    // sort's comparisons); re-install the caller's recorder scope on each
+    // worker so those land in the launching run's recorder.
+    let scope = kcv_obs::scope();
     let start = Instant::now();
     let counters: Vec<ThreadCounters> = workspaces
         .into_par_iter()
         .enumerate()
         .map(|(tid, mut ws)| {
+            let _in_scope = scope.enter();
             let mut c = ThreadCounters::default();
             kernel(tid, &mut ws, &mut c);
             c
@@ -101,10 +106,12 @@ where
 {
     config.validate(spec)?;
     let _launch = kcv_obs::phase("gpu.launch");
+    let scope = kcv_obs::scope();
     let start = Instant::now();
     let pairs: Vec<(R, ThreadCounters)> = (0..config.threads)
         .into_par_iter()
         .map(|tid| {
+            let _in_scope = scope.enter();
             let mut c = ThreadCounters::default();
             let r = kernel(tid, &mut c);
             (r, c)

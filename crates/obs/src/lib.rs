@@ -3,10 +3,10 @@
 //! The paper's headline claims are *operation counts*: the sorted sweep does
 //! `O(n² log n)` work where the naive grid search does `O(k·n²)`, and the
 //! GPU wins by the volume of memory transactions it avoids. This crate makes
-//! those counts observable: global atomic **op-counters** ([`Counter`]),
-//! scoped **phase timers** ([`phase`]), and a machine-readable [`Snapshot`]
-//! that `kcv-bench` serialises into `results/BENCH_report.json` so perf can
-//! be diffed PR-over-PR.
+//! those counts observable: **op-counters** ([`Counter`]), scoped **phase
+//! timers** ([`phase`]), and a machine-readable [`Snapshot`] that `kcv-bench`
+//! serialises into `results/BENCH_report.json` so perf can be diffed
+//! PR-over-PR.
 //!
 //! ## Zero cost by default
 //!
@@ -18,28 +18,33 @@
 //! `kcv-bench/metrics`), so one `--features metrics` at the top enables the
 //! whole pipeline.
 //!
-//! ## Counting discipline
+//! ## Scoped recorders
 //!
-//! Hot loops must not hit a shared atomic per iteration. Batch with
-//! [`LocalCounter`] (one atomic add on drop) or accumulate a local `u64`
-//! and [`add`] it once per call.
+//! Counts land in two places: a process-wide **global aggregate** (what
+//! [`get`]/[`snapshot`] read) and, when one is installed, the innermost
+//! **[`Recorder`]** on the current thread's scope stack. A recorder owns its
+//! own counter array and phase table, so two instrumented runs in one
+//! process — concurrent tests, a batch-selection service handling parallel
+//! requests — each see exactly their own operations instead of an
+//! interleaved global delta:
 //!
 //! ```
-//! use kcv_obs::{add, phase, snapshot, reset, Counter, LocalCounter};
+//! use kcv_obs::{add, phase, Counter, LocalCounter, Recorder};
 //!
-//! reset();
+//! let run = Recorder::new();
 //! {
+//!     let _scope = run.install(); // instrumentation below lands in `run`
 //!     let _sweep = phase("cv.sweep");
 //!     let mut evals = LocalCounter::new(Counter::KernelEvals);
 //!     for _ in 0..100 {
 //!         evals.incr(1); // no atomic traffic here
 //!     }
-//! } // LocalCounter and the phase guard flush on drop
-//! add(Counter::SortComparisons, 42);
+//!     add(Counter::SortComparisons, 42);
+//! } // LocalCounter, the phase guard, and the scope flush on drop
 //!
-//! let snap = snapshot();
-//! // With `--features metrics` the snapshot holds the counts; without it
-//! // the calls above compiled to nothing and the snapshot is empty.
+//! let snap = run.snapshot();
+//! // With `--features metrics` the snapshot holds this run's counts alone;
+//! // without it the calls above compiled to nothing and it is empty.
 //! if kcv_obs::enabled() {
 //!     assert_eq!(snap.counter("kernel_evals"), 100);
 //!     assert_eq!(snap.counter("sort_comparisons"), 42);
@@ -48,6 +53,32 @@
 //! }
 //! assert!(snap.to_json().starts_with('{'));
 //! ```
+//!
+//! Scopes are thread-local. Code that fans work out across threads (the
+//! rayon-parallel CV strategies, the GPU simulator's launcher) re-installs
+//! the calling thread's scope on each worker: capture a handle with
+//! [`scope`] before spawning and [`Scope::enter`] inside the worker
+//! closure. Both are cheap (an `Arc` clone and two thread-local
+//! operations) and no-ops when no recorder is installed.
+//!
+//! ## Counting discipline
+//!
+//! Hot loops must not hit a shared atomic per iteration. Batch with
+//! [`LocalCounter`] (one flush on drop) or accumulate a local `u64` and
+//! [`add`] it once per call.
+//!
+//! ## Phase-timer semantics
+//!
+//! Phase totals are *summed over scopes*. When same-name scopes overlap on
+//! different rayon workers the total is **CPU time**, which legitimately
+//! exceeds wall-clock — the per-observation `cv.sort` phase is the canonical
+//! example. [`Snapshot::to_json`] therefore labels the field
+//! `cpu_seconds`, not `seconds`. The workspace convention: top-level
+//! parallel regions (`cv.sweep`, `cv.merge`, `cv.window`, `cv.naive`,
+//! `gpu.launch`) are timed **once on the calling thread**, so their
+//! `cpu_seconds` approximates wall time; phases opened inside worker
+//! closures accumulate CPU time across workers. Wall-clock per strategy is
+//! reported separately (`wall_seconds` in `BENCH_report.json`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -129,14 +160,19 @@ impl fmt::Display for Counter {
     }
 }
 
-/// Wall-time statistics for one named phase.
+/// Time statistics for one named phase.
+///
+/// `nanos` sums the durations of every completed scope with this name —
+/// across threads, so overlapping scopes on rayon workers produce CPU
+/// time, not wall time (see the crate-level *Phase-timer semantics*).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseStat {
     /// Phase name as passed to [`phase`] (e.g. `"cv.sort"`).
     pub name: String,
     /// Number of completed phase scopes.
     pub calls: u64,
-    /// Total nanoseconds spent inside the phase across all scopes.
+    /// Total nanoseconds spent inside the phase, summed over all scopes
+    /// (CPU time when scopes overlapped on different threads).
     pub nanos: u64,
 }
 
@@ -145,7 +181,7 @@ pub struct PhaseStat {
 pub struct Snapshot {
     /// `(name, value)` for each [`Counter`], in [`Counter::ALL`] order.
     pub counters: Vec<(&'static str, u64)>,
-    /// Per-phase wall-time totals, in first-use order.
+    /// Per-phase timing totals, in first-use order.
     pub phases: Vec<PhaseStat>,
 }
 
@@ -165,9 +201,12 @@ impl Snapshot {
 
     /// Serialises the snapshot as a JSON object:
     /// `{"counters": {name: value, …}, "phases": {name: {"calls": c,
-    /// "seconds": s}, …}}`. Hand-rolled (the build environment has no
-    /// serde); all names are static identifiers, so no string escaping is
-    /// needed beyond what [`json_escape`] provides.
+    /// "cpu_seconds": s}, …}}`. The phase field is named `cpu_seconds`
+    /// because overlapping same-name scopes on different threads sum to CPU
+    /// time (see the crate-level *Phase-timer semantics*). Hand-rolled (the
+    /// build environment has no serde); all names are static identifiers,
+    /// so no string escaping is needed beyond what [`json_escape`]
+    /// provides.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
@@ -182,7 +221,7 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\"{}\":{{\"calls\":{},\"seconds\":{:.9}}}",
+                "\"{}\":{{\"calls\":{},\"cpu_seconds\":{:.9}}}",
                 json_escape(&p.name),
                 p.calls,
                 p.nanos as f64 * 1e-9
@@ -213,23 +252,85 @@ pub fn json_escape(s: &str) -> String {
 #[cfg(feature = "metrics")]
 mod imp {
     use super::{Counter, PhaseStat, Snapshot, NUM_COUNTERS};
+    use std::cell::RefCell;
+    use std::marker::PhantomData;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
     use std::time::Instant;
 
-    static COUNTERS: [AtomicU64; NUM_COUNTERS] = [
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-        AtomicU64::new(0),
-    ];
+    /// One counter array plus one phase table. Both the process-wide global
+    /// aggregate and every [`Recorder`] are instances of this shape, so a
+    /// write costs the same wherever it lands.
+    struct Store {
+        counters: [AtomicU64; NUM_COUNTERS],
+        phases: Mutex<Vec<PhaseStat>>,
+    }
 
-    fn phases() -> &'static Mutex<Vec<PhaseStat>> {
-        static PHASES: OnceLock<Mutex<Vec<PhaseStat>>> = OnceLock::new();
-        PHASES.get_or_init(|| Mutex::new(Vec::new()))
+    impl Store {
+        fn new() -> Self {
+            Store {
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                phases: Mutex::new(Vec::new()),
+            }
+        }
+
+        #[inline]
+        fn add(&self, counter: Counter, n: u64) {
+            self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+
+        #[inline]
+        fn get(&self, counter: Counter) -> u64 {
+            self.counters[counter as usize].load(Ordering::Relaxed)
+        }
+
+        fn reset(&self) {
+            for c in &self.counters {
+                c.store(0, Ordering::Relaxed);
+            }
+            self.phases.lock().expect("phase registry poisoned").clear();
+        }
+
+        fn record_phase(&self, name: &'static str, nanos: u64) {
+            let mut ps = self.phases.lock().expect("phase registry poisoned");
+            if let Some(p) = ps.iter_mut().find(|p| p.name == name) {
+                p.calls += 1;
+                p.nanos += nanos;
+            } else {
+                ps.push(PhaseStat { name: name.to_string(), calls: 1, nanos });
+            }
+        }
+
+        fn snapshot(&self) -> Snapshot {
+            Snapshot {
+                counters: Counter::ALL.iter().map(|&c| (c.name(), self.get(c))).collect(),
+                phases: self.phases.lock().expect("phase registry poisoned").clone(),
+            }
+        }
+    }
+
+    /// The process-wide aggregate every write falls through to.
+    fn global() -> &'static Store {
+        static GLOBAL: OnceLock<Store> = OnceLock::new();
+        GLOBAL.get_or_init(Store::new)
+    }
+
+    thread_local! {
+        /// The scope stack: recorders installed on this thread, innermost
+        /// last. Writes go to the innermost entry (plus the global
+        /// aggregate).
+        static SCOPES: RefCell<Vec<Arc<Store>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// The innermost recorder installed on this thread, if any.
+    #[inline]
+    fn current() -> Option<Arc<Store>> {
+        SCOPES.with(|s| s.borrow().last().cloned())
+    }
+
+    fn push_scope(store: Arc<Store>) -> ScopeGuard {
+        SCOPES.with(|s| s.borrow_mut().push(store));
+        ScopeGuard { installed: true, _not_send: PhantomData }
     }
 
     fn exclusive_lock() -> &'static Mutex<()> {
@@ -237,40 +338,131 @@ mod imp {
         LOCK.get_or_init(|| Mutex::new(()))
     }
 
+    /// A scoped metric sink: a private counter array and phase table that
+    /// receive every instrumentation event issued while the recorder is
+    /// [installed](Recorder::install) (events also fall through to the
+    /// global aggregate). Cloning is shallow — clones share the same
+    /// storage, which is how a recorder handle travels into rayon workers.
+    #[derive(Clone)]
+    pub struct Recorder {
+        store: Arc<Store>,
+    }
+
+    impl Recorder {
+        /// Creates a recorder with all counters zero and no phases.
+        pub fn new() -> Self {
+            Recorder { store: Arc::new(Store::new()) }
+        }
+
+        /// Installs the recorder as the innermost scope on the *current
+        /// thread* until the returned guard drops. Nesting is allowed;
+        /// events go to the innermost installed recorder only (plus the
+        /// global aggregate). The guard is `!Send`: it must drop on the
+        /// thread that created it.
+        #[must_use = "the recorder only receives events while this guard is alive"]
+        pub fn install(&self) -> ScopeGuard {
+            push_scope(Arc::clone(&self.store))
+        }
+
+        /// Current value of one of this recorder's counters.
+        #[inline]
+        pub fn get(&self, counter: Counter) -> u64 {
+            self.store.get(counter)
+        }
+
+        /// Copies this recorder's counters and phase timers.
+        pub fn snapshot(&self) -> Snapshot {
+            self.store.snapshot()
+        }
+    }
+
+    impl Default for Recorder {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl std::fmt::Debug for Recorder {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Recorder").finish_non_exhaustive()
+        }
+    }
+
+    /// RAII guard for an installed scope ([`Recorder::install`] /
+    /// [`Scope::enter`]); dropping it pops the scope stack.
+    #[must_use = "the scope is active only while this guard is alive"]
+    pub struct ScopeGuard {
+        installed: bool,
+        /// Pop must happen on the installing thread, so the guard is !Send.
+        _not_send: PhantomData<*const ()>,
+    }
+
+    impl Drop for ScopeGuard {
+        fn drop(&mut self) {
+            if self.installed {
+                SCOPES.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+    }
+
+    /// A `Send + Sync` handle to the innermost recorder installed at
+    /// [`scope`] time (or to nothing, when none was installed). Captured on
+    /// the calling thread and [entered](Scope::enter) inside worker
+    /// closures so parallel strategies attribute counts to the run that
+    /// spawned them.
+    #[derive(Clone)]
+    pub struct Scope {
+        store: Option<Arc<Store>>,
+    }
+
+    impl Scope {
+        /// Re-installs the captured recorder on the current thread until
+        /// the returned guard drops. A no-op (but still cheap and safe)
+        /// when no recorder was installed at capture time.
+        #[must_use = "the scope is active only while this guard is alive"]
+        pub fn enter(&self) -> ScopeGuard {
+            match &self.store {
+                Some(store) => push_scope(Arc::clone(store)),
+                None => ScopeGuard { installed: false, _not_send: PhantomData },
+            }
+        }
+    }
+
+    /// Captures the current thread's innermost recorder as a [`Scope`].
+    pub fn scope() -> Scope {
+        Scope { store: current() }
+    }
+
     #[inline]
     pub fn add(counter: Counter, n: u64) {
         if n > 0 {
-            COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+            global().add(counter, n);
+            if let Some(r) = current() {
+                r.add(counter, n);
+            }
         }
     }
 
     #[inline]
     pub fn get(counter: Counter) -> u64 {
-        COUNTERS[counter as usize].load(Ordering::Relaxed)
+        global().get(counter)
     }
 
     pub fn reset() {
-        for c in &COUNTERS {
-            c.store(0, Ordering::Relaxed);
-        }
-        phases().lock().expect("phase registry poisoned").clear();
+        global().reset();
     }
 
     pub fn record_phase(name: &'static str, nanos: u64) {
-        let mut ps = phases().lock().expect("phase registry poisoned");
-        if let Some(p) = ps.iter_mut().find(|p| p.name == name) {
-            p.calls += 1;
-            p.nanos += nanos;
-        } else {
-            ps.push(PhaseStat { name: name.to_string(), calls: 1, nanos });
+        global().record_phase(name, nanos);
+        if let Some(r) = current() {
+            r.record_phase(name, nanos);
         }
     }
 
     pub fn snapshot() -> Snapshot {
-        Snapshot {
-            counters: Counter::ALL.iter().map(|&c| (c.name(), get(c))).collect(),
-            phases: phases().lock().expect("phase registry poisoned").clone(),
-        }
+        global().snapshot()
     }
 
     pub fn exclusive() -> MutexGuard<'static, ()> {
@@ -297,7 +489,7 @@ mod imp {
         }
     }
 
-    /// Batching counter: increments locally, flushes one atomic add on drop.
+    /// Batching counter: increments locally, flushes one shared add on drop.
     pub struct LocalCounter {
         counter: Counter,
         n: u64,
@@ -310,7 +502,7 @@ mod imp {
             Self { counter, n: 0 }
         }
 
-        /// Adds `n` to the local batch (no atomic traffic).
+        /// Adds `n` to the local batch (no shared-memory traffic).
         #[inline(always)]
         pub fn incr(&mut self, n: u64) {
             self.n += n;
@@ -354,6 +546,61 @@ mod imp {
     #[inline(always)]
     pub fn exclusive() {}
 
+    /// Inert recorder (metrics disabled): installing it does nothing and
+    /// its snapshot is always empty.
+    #[derive(Debug, Clone, Default)]
+    pub struct Recorder;
+
+    impl Recorder {
+        /// Creates an inert recorder (metrics disabled).
+        #[inline(always)]
+        pub fn new() -> Self {
+            Recorder
+        }
+
+        /// Returns an inert guard (metrics disabled).
+        #[inline(always)]
+        #[must_use = "the recorder only receives events while this guard is alive"]
+        pub fn install(&self) -> ScopeGuard {
+            ScopeGuard
+        }
+
+        /// Always `0` (metrics disabled).
+        #[inline(always)]
+        pub fn get(&self, _counter: Counter) -> u64 {
+            0
+        }
+
+        /// Always the empty snapshot (metrics disabled).
+        #[inline(always)]
+        pub fn snapshot(&self) -> Snapshot {
+            Snapshot::default()
+        }
+    }
+
+    /// Unit-like scope guard; dropping it does nothing.
+    #[must_use = "the scope is active only while this guard is alive"]
+    pub struct ScopeGuard;
+
+    /// Unit-like scope handle (metrics disabled).
+    #[derive(Debug, Clone)]
+    pub struct Scope;
+
+    impl Scope {
+        /// Returns an inert guard (metrics disabled).
+        #[inline(always)]
+        #[must_use = "the scope is active only while this guard is alive"]
+        pub fn enter(&self) -> ScopeGuard {
+            ScopeGuard
+        }
+    }
+
+    /// Captures nothing (metrics disabled).
+    #[inline(always)]
+    pub fn scope() -> Scope {
+        Scope
+    }
+
     /// Unit-like guard; dropping it does nothing.
     #[must_use = "the phase is timed until this guard drops"]
     pub struct PhaseGuard;
@@ -385,39 +632,77 @@ mod imp {
 pub use imp::PhaseGuard;
 
 /// Batching counter for hot loops: increment locally with
-/// [`LocalCounter::incr`], pay one atomic add when it drops. A no-op type
+/// [`LocalCounter::incr`], pay one shared add when it drops. A no-op type
 /// without the `metrics` feature.
 pub use imp::LocalCounter;
 
-/// Adds `n` to a global counter (no-op without the `metrics` feature).
+/// A scoped metric sink owning its own counter array and phase table.
+///
+/// Create one per measured run, [`install`](Recorder::install) it for the
+/// duration of the run, and read the run's private totals with
+/// [`Recorder::snapshot`]/[`Recorder::get`] — immune to whatever other
+/// instrumented code executes concurrently in the process. An inert unit
+/// type without the `metrics` feature.
+pub use imp::Recorder;
+
+/// A `Send + Sync` handle for carrying the current scope into worker
+/// threads; see [`scope`].
+pub use imp::Scope;
+
+/// RAII guard holding a scope installed ([`Recorder::install`] /
+/// [`Scope::enter`]); `!Send`, pops the scope stack on drop.
+pub use imp::ScopeGuard;
+
+/// Adds `n` to a counter: the innermost installed [`Recorder`] on this
+/// thread (if any) and the global aggregate both receive it. A no-op
+/// without the `metrics` feature.
 #[inline(always)]
 pub fn add(counter: Counter, n: u64) {
     imp::add(counter, n);
 }
 
-/// Current value of a counter (always `0` without the `metrics` feature).
+/// Current value of a counter in the **global aggregate** (always `0`
+/// without the `metrics` feature). Prefer [`Recorder::get`] for per-run
+/// values — the global aggregate interleaves every instrumented run in the
+/// process.
 #[inline(always)]
 pub fn get(counter: Counter) -> u64 {
     imp::get(counter)
 }
 
-/// Clears every counter and phase timer.
+/// Clears every counter and phase timer in the **global aggregate**.
+/// Installed [`Recorder`]s are unaffected.
 #[inline(always)]
 pub fn reset() {
     imp::reset();
 }
 
 /// Starts timing a named phase; the scope ends when the returned guard
-/// drops. Nested and concurrent scopes of the same name accumulate.
+/// drops. Nested and concurrent scopes of the same name accumulate — see
+/// the crate-level *Phase-timer semantics* for why concurrent scopes sum
+/// to CPU time. The elapsed time is recorded against the innermost
+/// [`Recorder`] installed *when the guard drops*, plus the global
+/// aggregate.
 #[inline(always)]
 pub fn phase(name: &'static str) -> PhaseGuard {
     imp::phase(name)
 }
 
-/// Copies the current counters and phase timers.
+/// Copies the current **global aggregate** counters and phase timers.
+/// Prefer [`Recorder::snapshot`] for per-run values.
 #[inline(always)]
 pub fn snapshot() -> Snapshot {
     imp::snapshot()
+}
+
+/// Captures the innermost [`Recorder`] installed on the current thread as
+/// a cheap `Send + Sync` [`Scope`] handle. Capture it before fanning work
+/// out to rayon workers and [`Scope::enter`] it inside each worker closure
+/// so the workers' counts land in the same recorder as the calling
+/// thread's.
+#[inline(always)]
+pub fn scope() -> Scope {
+    imp::scope()
 }
 
 /// True when the `metrics` feature is compiled in.
@@ -426,11 +711,16 @@ pub const fn enabled() -> bool {
     imp::ENABLED
 }
 
-/// Serialises tests and measured sections that assert on exact global
-/// counter values: hold the returned guard for the duration of the measured
-/// region so concurrently running instrumented code (e.g. other tests in
-/// the same binary) cannot pollute the delta. With metrics disabled this is
-/// a unit value.
+/// Serialises measured sections that assert on exact **global** counter
+/// values.
+///
+/// Deprecated: install a per-run [`Recorder`] instead — its counters are
+/// private to the run, so no cross-run serialization is needed and tests
+/// can run on as many threads as the harness likes. With metrics disabled
+/// this is a unit value.
+#[deprecated(
+    note = "install a per-run `Recorder` instead of serialising on the global aggregate"
+)]
 #[inline(always)]
 #[allow(clippy::unit_arg)] // the no-op imp's guard is a unit by design
 pub fn exclusive() -> impl Drop + Sized {
@@ -453,7 +743,7 @@ mod tests {
         };
         let json = snap.to_json();
         assert!(json.contains("\"kernel_evals\":12"));
-        assert!(json.contains("\"cv.sort\":{\"calls\":2,\"seconds\":0.001500000"));
+        assert!(json.contains("\"cv.sort\":{\"calls\":2,\"cpu_seconds\":0.001500000"));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }
 
@@ -471,53 +761,108 @@ mod tests {
 
     #[cfg(feature = "metrics")]
     #[test]
-    fn counters_accumulate_and_reset() {
-        let _guard = exclusive();
-        reset();
-        add(Counter::KernelEvals, 5);
-        add(Counter::KernelEvals, 7);
+    fn recorder_captures_adds_local_counters_and_phases() {
+        let run = Recorder::new();
         {
-            let mut local = LocalCounter::new(Counter::SortComparisons);
-            local.incr(3);
-            local.incr(4);
+            let _scope = run.install();
+            add(Counter::KernelEvals, 5);
+            add(Counter::KernelEvals, 7);
+            {
+                let mut local = LocalCounter::new(Counter::SortComparisons);
+                local.incr(3);
+                local.incr(4);
+            }
+            for _ in 0..3 {
+                let _p = phase("test.phase");
+                std::hint::black_box(0u64);
+            }
         }
-        assert_eq!(get(Counter::KernelEvals), 12);
-        assert_eq!(get(Counter::SortComparisons), 7);
-        let snap = snapshot();
+        assert_eq!(run.get(Counter::KernelEvals), 12);
+        assert_eq!(run.get(Counter::SortComparisons), 7);
+        let snap = run.snapshot();
         assert_eq!(snap.counter("kernel_evals"), 12);
-        reset();
-        assert_eq!(get(Counter::KernelEvals), 0);
-    }
-
-    #[cfg(feature = "metrics")]
-    #[test]
-    fn phases_record_calls_and_time() {
-        let _guard = exclusive();
-        reset();
-        for _ in 0..3 {
-            let _p = phase("test.phase");
-            std::hint::black_box(0u64);
-        }
-        let snap = snapshot();
         let stat = snap.phases.iter().find(|p| p.name == "test.phase").unwrap();
         assert_eq!(stat.calls, 3);
     }
 
     #[cfg(feature = "metrics")]
     #[test]
-    fn counting_is_thread_safe() {
-        let _guard = exclusive();
-        reset();
+    fn events_outside_the_scope_do_not_reach_the_recorder() {
+        let run = Recorder::new();
+        add(Counter::LooTermsSkipped, 100); // before install
+        {
+            let _scope = run.install();
+            add(Counter::LooTermsSkipped, 1);
+        }
+        add(Counter::LooTermsSkipped, 100); // after the guard dropped
+        assert_eq!(run.get(Counter::LooTermsSkipped), 1);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn nested_recorders_route_to_the_innermost() {
+        let outer = Recorder::new();
+        let inner = Recorder::new();
+        let _og = outer.install();
+        add(Counter::ObjectiveEvals, 2);
+        {
+            let _ig = inner.install();
+            add(Counter::ObjectiveEvals, 40);
+        }
+        add(Counter::ObjectiveEvals, 300);
+        assert_eq!(inner.get(Counter::ObjectiveEvals), 40);
+        assert_eq!(outer.get(Counter::ObjectiveEvals), 302);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn scope_carries_the_recorder_across_threads() {
+        let run = Recorder::new();
+        let _guard = run.install();
+        let scope = scope();
         std::thread::scope(|s| {
             for _ in 0..8 {
                 s.spawn(|| {
+                    let _in_scope = scope.enter();
                     for _ in 0..1000 {
                         add(Counter::MemTransactions, 1);
                     }
                 });
             }
         });
-        assert_eq!(get(Counter::MemTransactions), 8_000);
+        assert_eq!(run.get(Counter::MemTransactions), 8_000);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn concurrent_recorders_do_not_interleave() {
+        let totals: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    s.spawn(move || {
+                        let run = Recorder::new();
+                        let _g = run.install();
+                        for _ in 0..500 {
+                            add(Counter::KernelEvals, t + 1);
+                        }
+                        run.get(Counter::KernelEvals)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(totals, vec![500, 1000, 1500, 2000]);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn global_aggregate_still_accumulates() {
+        // The free functions keep working against the global aggregate —
+        // deltas only, since other tests run concurrently against it.
+        let before = get(Counter::GpuSimCycles);
+        add(Counter::GpuSimCycles, 17);
+        assert!(get(Counter::GpuSimCycles) >= before + 17);
+        assert!(snapshot().counter("gpu_sim_cycles") >= before + 17);
     }
 
     #[cfg(not(feature = "metrics"))]
@@ -527,5 +872,12 @@ mod tests {
         assert_eq!(get(Counter::KernelEvals), 0);
         assert!(snapshot().counters.is_empty());
         assert!(!enabled());
+
+        let run = Recorder::new();
+        let _g = run.install();
+        add(Counter::KernelEvals, 99);
+        assert_eq!(run.get(Counter::KernelEvals), 0);
+        assert!(run.snapshot().counters.is_empty());
+        let _in = scope().enter();
     }
 }
