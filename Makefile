@@ -33,9 +33,12 @@ clippy:
 
 ## Counter-based perf gate: asserts from one results/BENCH_report.json read
 ## that the merge-sweep's sort comparisons stay O(n log n) with kernel evals
-## matching the sorted sweep's, and that the prefix-moment sweep answers
-## every (obs, bandwidth) cell within the n·k·ceil(log2 n) window-query
-## ceiling with zero kernel evals (see crates/bench/src/bin/perf_gate.rs).
+## matching the sorted sweep's, that the prefix-moment sweep answers every
+## (obs, bandwidth) cell within the n·k·ceil(log2 n) window-query ceiling
+## with zero kernel evals, and that the windowed GPU program holds its
+## memory contract — peak device bytes ≤ 16·n·(deg+2) (no n² term) and
+## simulated memory transactions ≤ n·k·(2·ceil(log2 n) + 24·(deg+1)), i.e.
+## O(k·log n) per observation (see crates/bench/src/bin/perf_gate.rs).
 perf-gate:
 	$(CARGO) run $(FLAGS) --release -p kcv-bench --features metrics \
 		--bin perf_gate -- --n 2000 --k 100

@@ -13,6 +13,7 @@ use kcv_core::cv::{
 use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
 use kcv_data::{Dgp, PaperDgp};
+use kcv_gpu::{select_bandwidth_gpu, select_bandwidth_gpu_windowed, GpuConfig};
 use std::hint::black_box;
 
 fn bench_strategies(c: &mut Criterion) {
@@ -68,6 +69,25 @@ fn bench_strategies(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("prefix", k), &k, |b, _| {
             b.iter(|| cv_profile_prefix(black_box(&s.x), &s.y, &grid, &Epanechnikov).unwrap())
+        });
+    }
+    group.finish();
+
+    // Simulated-GPU programs: the classic O(n²)-memory port vs the windowed
+    // O(n·(deg+2)+k) program. Host wall time here measures the simulator,
+    // not a device — the interesting axis is that windowed's host cost stays
+    // proportional to n·k cells while classic pays for the n×n matrix fill.
+    let mut group = c.benchmark_group("gpu_programs");
+    group.sample_size(10);
+    let config = GpuConfig::default();
+    for &n in &[500usize, 2_000] {
+        let s = PaperDgp.sample(n, 44);
+        let grid = BandwidthGrid::paper_default(&s.x, 50).unwrap();
+        group.bench_with_input(BenchmarkId::new("classic", n), &n, |b, _| {
+            b.iter(|| select_bandwidth_gpu(black_box(&s.x), &s.y, &grid, &config).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("windowed", n), &n, |b, _| {
+            b.iter(|| select_bandwidth_gpu_windowed(black_box(&s.x), &s.y, &grid, &config).unwrap())
         });
     }
     group.finish();

@@ -24,7 +24,8 @@ fn main() {
     let mut series = Vec::new();
     let marks = [('r', Program::RacineHayfield), ('m', Program::MulticoreR),
                  ('s', Program::SequentialC), ('c', Program::MergedC),
-                 ('p', Program::PrefixC), ('g', Program::CudaGpu)];
+                 ('p', Program::PrefixC), ('g', Program::CudaGpu),
+                 ('w', Program::WindowedGpu)];
     for (mark, program) in marks {
         let points: Vec<(f64, f64)> = rows
             .iter()
@@ -34,12 +35,17 @@ fn main() {
         series.push(Series { label: format!("{} (wall)", program.label()), mark, points });
     }
     // The simulated-GPU series: what the cost model says the Tesla takes.
-    let sim_points: Vec<(f64, f64)> = rows
-        .iter()
-        .filter(|r| r.program == Program::CudaGpu)
-        .filter_map(|r| r.simulated_seconds.map(|s| (r.n as f64, s.max(1e-4))))
-        .collect();
-    series.push(Series { label: "CUDA on GPU (simulated device time)".into(), mark: 'G', points: sim_points });
+    for (mark, program, label) in [
+        ('G', Program::CudaGpu, "CUDA on GPU (simulated device time)"),
+        ('W', Program::WindowedGpu, "Windowed GPU (simulated device time)"),
+    ] {
+        let sim_points: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.program == program)
+            .filter_map(|r| r.simulated_seconds.map(|s| (r.n as f64, s.max(1e-4))))
+            .collect();
+        series.push(Series { label: label.into(), mark, points: sim_points });
+    }
 
     println!("\nFIGURE 1 (measured) — RUN TIMES BY PROGRAM AND SAMPLE SIZE\n");
     println!("{}", render_loglog(&series, 72, 24));
@@ -56,6 +62,7 @@ fn main() {
                 // Beyond the paper's four program codes.
                 Program::MergedC => 5.0,
                 Program::PrefixC => 6.0,
+                Program::WindowedGpu => 7.0,
             },
             r.wall_seconds,
             r.simulated_seconds.unwrap_or(f64::NAN),

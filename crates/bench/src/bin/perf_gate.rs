@@ -21,7 +21,17 @@
 //!    score comes from prefix-sum differencing, never a neighbour visit;
 //! 7. `prefix` actually ran its window machinery (queries > 0);
 //! 8. `prefix` and `prefix-par` select the same bandwidth as the sorted
-//!    sweep.
+//!    sweep;
+//! 9. `gpu-windowed` device-memory peak stays `O(n)` — hard ceiling
+//!    `16 · n · (deg + 2)` bytes (64n at the default quadratic kernel).
+//!    The classic pipeline's two `n×n` matrices sit at `8n²` and blow
+//!    through this ceiling by the hundreds at gate scale, so any regression
+//!    that sneaks a dense matrix back into the windowed program fails loud;
+//! 10. `gpu-windowed` simulated memory transactions stay
+//!     `O(k · log n)` per observation — ceiling
+//!     `n · k · (2·ceil(log2 n) + 24·(deg + 1))`: two binary searches plus a
+//!     constant number of prefix-table touches per cell. A per-neighbour
+//!     scan (the classic running-sum loop) is `Θ(n)` per cell and fails.
 //!
 //! Exits non-zero if any gate fails, printing each gate's verdict and then
 //! naming the failures, so `make verify` and CI fail if a regression
@@ -100,16 +110,17 @@ fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
         return gates;
     }
 
-    let (sorted, merged, prefix, prefix_par) = match (
+    let (sorted, merged, prefix, prefix_par, windowed) = match (
         strategy_slice(json, "sorted"),
         strategy_slice(json, "merged"),
         strategy_slice(json, "prefix"),
         strategy_slice(json, "prefix-par"),
+        strategy_slice(json, "gpu-windowed"),
     ) {
-        (Some(s), Some(m), Some(p), Some(pp)) => (s, m, p, pp),
+        (Some(s), Some(m), Some(p), Some(pp), Some(w)) => (s, m, p, pp, w),
         _ => {
             gates.push(Gate::pass_if(
-                "report lists sorted/merged/prefix/prefix-par strategies",
+                "report lists sorted/merged/prefix/prefix-par/gpu-windowed strategies",
                 false,
                 "at least one strategy entry is missing from the report".into(),
             ));
@@ -187,6 +198,29 @@ fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
         format!("prefix {pb:?}, prefix-par {ppb:?} == sorted {sb:?}"),
     ));
 
+    // --- windowed GPU memory contract (this PR) ------------------------
+    // The default config runs the quadratic Epanechnikov kernel, so
+    // deg = 2: peak ceiling 16·n·(deg+2) = 64n bytes, and the per-cell
+    // traffic budget is 2·ceil(log2 n) probe reads + 24·(deg+1) table /
+    // assembly transactions. Both ceilings deliberately carry NO n² term:
+    // the classic pipeline's 8n² residual matrices cannot hide under them.
+    let deg = 2u64;
+    let peak_ceiling = 16 * n as u64 * (deg + 2);
+    let windowed_peak = field(windowed, "device_bytes_peak");
+    gates.push(Gate::pass_if(
+        "windowed peak device bytes stay O(n), no n^2 term",
+        windowed_peak > 0 && windowed_peak <= peak_ceiling,
+        format!("0 < {windowed_peak} <= 16*n*(deg+2) = {peak_ceiling}"),
+    ));
+
+    let txn_ceiling = (n * k) as u64 * (2 * log2n + 24 * (deg + 1));
+    let windowed_txns = field(windowed, "mem_transactions");
+    gates.push(Gate::pass_if(
+        "windowed mem transactions stay O(k log n) per observation",
+        windowed_txns > 0 && windowed_txns <= txn_ceiling,
+        format!("0 < {windowed_txns} <= n*k*(2*ceil(log2 n) + 24*(deg+1)) = {txn_ceiling}"),
+    ));
+
     gates
 }
 
@@ -261,7 +295,10 @@ mod tests {
         {\"name\":\"prefix\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
         \"kernel_evals\":0,\"window_queries\":200000}}},\
         {\"name\":\"prefix-par\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
-        \"kernel_evals\":0,\"window_queries\":200000}}}]}";
+        \"kernel_evals\":0,\"window_queries\":200000}}},\
+        {\"name\":\"gpu-windowed\",\"bandwidth\":0.125000,\
+        \"device_bytes_peak\":58048,\"obs\":{\"counters\":{\
+        \"window_queries\":200000,\"mem_transactions\":5600000}}}]}";
 
     #[test]
     fn strategy_slice_isolates_one_entry() {
@@ -294,9 +331,10 @@ mod tests {
     #[test]
     fn all_gates_pass_on_a_conforming_report() {
         // n = 2,000, k = 100: ceil(log2 2000) = 11, so the window-query
-        // ceiling is 2,200,000 and the comparison ceiling is 66,000.
+        // ceiling is 2,200,000, the comparison ceiling 66,000, the windowed
+        // peak ceiling 128,000 bytes and the transaction ceiling 18,800,000.
         let gates = evaluate_gates(SAMPLE, 2_000, 100);
-        assert_eq!(gates.len(), 8);
+        assert_eq!(gates.len(), 10);
         assert!(gates.iter().all(|g| g.ok == Some(true)), "{:?}", fails(&gates));
     }
 
@@ -342,6 +380,42 @@ mod tests {
         );
         let gates = evaluate_gates(&bad, 2_000, 100);
         assert_eq!(fails(&gates), vec!["prefix strategies select the sorted sweep's bandwidth"]);
+    }
+
+    #[test]
+    fn windowed_peak_gate_catches_a_dense_matrix_allocation() {
+        // 8n² bytes at n = 2,000 is 32 MB — a windowed program that quietly
+        // reallocated the classic n×n residual matrices lands here, five
+        // hundred times over the 64n = 128,000-byte ceiling.
+        let bad = SAMPLE.replace("\"device_bytes_peak\":58048", "\"device_bytes_peak\":32000000");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(fails(&gates), vec!["windowed peak device bytes stay O(n), no n^2 term"]);
+    }
+
+    #[test]
+    fn windowed_traffic_gate_catches_a_per_neighbour_scan() {
+        // A per-neighbour running-sum loop reads Θ(n) cells per (obs, h)
+        // pair: n·k·n = 4·10⁸ transactions at gate scale, far above the
+        // n·k·(2·ceil(log2 n) + 72) = 18,800,000 ceiling.
+        let bad = SAMPLE.replace("\"mem_transactions\":5600000", "\"mem_transactions\":400000000");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["windowed mem transactions stay O(k log n) per observation"]
+        );
+    }
+
+    #[test]
+    fn windowed_gates_refuse_zero_counts() {
+        // A report produced without actually running the windowed program
+        // (peak 0, no traffic) must not pass by vacuity.
+        let bad = SAMPLE
+            .replace("\"device_bytes_peak\":58048", "\"device_bytes_peak\":0")
+            .replace("\"mem_transactions\":5600000", "\"mem_transactions\":0");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        let failed = fails(&gates);
+        assert!(failed.contains(&"windowed peak device bytes stay O(n), no n^2 term"));
+        assert!(failed.contains(&"windowed mem transactions stay O(k log n) per observation"));
     }
 
     #[test]

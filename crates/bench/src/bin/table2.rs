@@ -1,8 +1,9 @@
 //! Reproduces **Table II — run times by number of bandwidths calculated**:
-//! panel A (sequential sorted grid search) and panel B (the GPU program).
+//! panel A (sequential sorted grid search), panel B (the GPU program), and
+//! panel W (beyond the paper: the O(n)-memory windowed GPU program).
 //!
-//! Usage: `cargo run -p kcv-bench --release --bin table2 -- [--panel a|b|both]
-//! [--max-n N] [--reps R]`
+//! Usage: `cargo run -p kcv-bench --release --bin table2 -- [--panel
+//! a|b|w|both] [--max-n N] [--reps R]`
 
 use kcv_bench::programs::Program;
 use kcv_bench::sweep::{table2_sweep, Table2Cell, TABLE2_BANDWIDTHS, TABLE2_SIZES};
@@ -70,5 +71,18 @@ fn main() {
         write_csv(&PathBuf::from("results/table2b_wall.csv"), &csv_header_refs, &csv_wall)
             .expect("write CSV");
         eprintln!("wrote results/table2b_simulated.csv, results/table2b_wall.csv");
+    }
+    if which == "w" || which == "both" {
+        eprintln!("Table II panel W (windowed GPU), n ≤ {max_n}, {reps} reps");
+        let cells = table2_sweep(Program::WindowedGpu, max_n, reps);
+        let (text_sim, csv_sim) = panel(&cells, max_n, true);
+        println!(
+            "\nTABLE II — PANEL W: WINDOWED GPU PROGRAM (simulated Tesla-S10 \
+             seconds, O(n·(deg+2)+k) device bytes)\n"
+        );
+        println!("{text_sim}");
+        write_csv(&PathBuf::from("results/table2w_simulated.csv"), &csv_header_refs, &csv_sim)
+            .expect("write CSV");
+        eprintln!("wrote results/table2w_simulated.csv");
     }
 }

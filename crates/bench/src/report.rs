@@ -13,16 +13,19 @@
 //! snapshots are per-run deltas by construction — immune to any other
 //! instrumented code running concurrently in the process.
 //!
-//! ## Schema (version 2)
+//! ## Schema (version 3)
 //!
 //! Version 2 renamed the per-phase `seconds` field to `cpu_seconds`:
 //! overlapping same-name phase scopes on different rayon workers sum to CPU
 //! time, which legitimately exceeds wall-clock (see the `kcv-obs`
-//! *Phase-timer semantics* rustdoc).
+//! *Phase-timer semantics* rustdoc). Version 3 added the `gpu-windowed`
+//! strategy (the O(n)-memory device program) and the per-strategy
+//! `device_bytes_peak` field (`null` for CPU strategies) that the
+//! windowed-memory perf gate reads.
 //!
 //! ```json
 //! {
-//!   "version": 2,
+//!   "version": 3,
 //!   "metrics_enabled": true,
 //!   "config": {"n": 1000, "k": 50, "seed": 42, "kernel": "epanechnikov"},
 //!   "strategies": [
@@ -32,6 +35,7 @@
 //!       "score": 0.0321,
 //!       "wall_seconds": 0.0124,
 //!       "simulated_seconds": null,
+//!       "device_bytes_peak": null,
 //!       "obs": {
 //!         "counters": {"kernel_evals": 49950000, "sort_comparisons": 0, ...},
 //!         "phases": {"cv.naive": {"calls": 1, "cpu_seconds": 0.0123}, ...}
@@ -47,17 +51,19 @@ use kcv_core::cv::{
 };
 use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
-use kcv_gpu::{select_bandwidth_gpu, GpuConfig};
+use kcv_gpu::{select_bandwidth_gpu, select_bandwidth_gpu_windowed, GpuConfig};
 use kcv_obs::Snapshot;
 use std::time::Instant;
 
 /// Current `BENCH_report.json` schema version. Bump on any breaking change
 /// to the JSON layout and describe the change in EXPERIMENTS.md.
 /// Version 2: phase timers serialise as `cpu_seconds` (was `seconds`).
-pub const REPORT_VERSION: u32 = 2;
+/// Version 3: added the `gpu-windowed` strategy and the per-strategy
+/// `device_bytes_peak` field.
+pub const REPORT_VERSION: u32 = 3;
 
 /// The strategies a report covers, in emission order.
-pub const STRATEGIES: [&str; 8] = [
+pub const STRATEGIES: [&str; 9] = [
     "naive",
     "sorted",
     "parallel",
@@ -66,6 +72,7 @@ pub const STRATEGIES: [&str; 8] = [
     "prefix",
     "prefix-par",
     "gpu-sim",
+    "gpu-windowed",
 ];
 
 /// The `(n, k, seed)` point a report was measured at.
@@ -91,8 +98,12 @@ pub struct StrategyPerf {
     pub score: f64,
     /// Host wall-clock seconds for the run.
     pub wall_seconds: f64,
-    /// Simulated device seconds (gpu-sim strategy only).
+    /// Simulated device seconds (device strategies only).
     pub simulated_seconds: Option<f64>,
+    /// Peak simulated device memory in bytes (device strategies only).
+    /// The windowed-memory perf gate pins `gpu-windowed`'s value to the
+    /// O(n·(deg+2) + k) formula.
+    pub device_bytes_peak: Option<u64>,
     /// Counters and phase timers recorded during the run.
     pub obs: Snapshot,
 }
@@ -125,9 +136,13 @@ impl PerfReport {
             let sim = s
                 .simulated_seconds
                 .map_or("null".to_string(), |v| format!("{v:.9}"));
+            let peak = s
+                .device_bytes_peak
+                .map_or("null".to_string(), |v| v.to_string());
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"bandwidth\":{:.12},\"score\":{:.12},\
-                 \"wall_seconds\":{:.9},\"simulated_seconds\":{sim},\"obs\":{}}}",
+                 \"wall_seconds\":{:.9},\"simulated_seconds\":{sim},\
+                 \"device_bytes_peak\":{peak},\"obs\":{}}}",
                 s.name,
                 s.bandwidth,
                 s.score,
@@ -158,48 +173,48 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
         let recorder = kcv_obs::Recorder::new();
         let scope = recorder.install();
         let start = Instant::now();
-        let (bandwidth, score, simulated_seconds) = match name {
+        let (bandwidth, score, simulated_seconds, device_bytes_peak) = match name {
             "naive" => {
                 let p = cv_profile_naive(&s.x, &s.y, &grid, &Epanechnikov)
                     .map_err(|e| e.to_string())?;
                 let o = p.argmin().map_err(|e| e.to_string())?;
-                (o.bandwidth, o.score, None)
+                (o.bandwidth, o.score, None, None)
             }
             "sorted" => {
                 let p = cv_profile_sorted(&s.x, &s.y, &grid, &Epanechnikov)
                     .map_err(|e| e.to_string())?;
                 let o = p.argmin().map_err(|e| e.to_string())?;
-                (o.bandwidth, o.score, None)
+                (o.bandwidth, o.score, None, None)
             }
             "parallel" => {
                 let p = cv_profile_sorted_par(&s.x, &s.y, &grid, &Epanechnikov)
                     .map_err(|e| e.to_string())?;
                 let o = p.argmin().map_err(|e| e.to_string())?;
-                (o.bandwidth, o.score, None)
+                (o.bandwidth, o.score, None, None)
             }
             "merged" => {
                 let p = cv_profile_merged(&s.x, &s.y, &grid, &Epanechnikov)
                     .map_err(|e| e.to_string())?;
                 let o = p.argmin().map_err(|e| e.to_string())?;
-                (o.bandwidth, o.score, None)
+                (o.bandwidth, o.score, None, None)
             }
             "merged-par" => {
                 let p = cv_profile_merged_par(&s.x, &s.y, &grid, &Epanechnikov)
                     .map_err(|e| e.to_string())?;
                 let o = p.argmin().map_err(|e| e.to_string())?;
-                (o.bandwidth, o.score, None)
+                (o.bandwidth, o.score, None, None)
             }
             "prefix" => {
                 let p = cv_profile_prefix(&s.x, &s.y, &grid, &Epanechnikov)
                     .map_err(|e| e.to_string())?;
                 let o = p.argmin().map_err(|e| e.to_string())?;
-                (o.bandwidth, o.score, None)
+                (o.bandwidth, o.score, None, None)
             }
             "prefix-par" => {
                 let p = cv_profile_prefix_par(&s.x, &s.y, &grid, &Epanechnikov)
                     .map_err(|e| e.to_string())?;
                 let o = p.argmin().map_err(|e| e.to_string())?;
-                (o.bandwidth, o.score, None)
+                (o.bandwidth, o.score, None, None)
             }
             "gpu-sim" => {
                 let run = select_bandwidth_gpu(&s.x, &s.y, &grid, &GpuConfig::default())
@@ -208,6 +223,18 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
                     run.bandwidth,
                     run.score,
                     Some(run.report.total_simulated_seconds),
+                    Some(run.report.device_bytes_peak as u64),
+                )
+            }
+            "gpu-windowed" => {
+                let run =
+                    select_bandwidth_gpu_windowed(&s.x, &s.y, &grid, &GpuConfig::default())
+                        .map_err(|e| e.to_string())?;
+                (
+                    run.bandwidth,
+                    run.score,
+                    Some(run.report.total_simulated_seconds),
+                    Some(run.report.device_bytes_peak as u64),
                 )
             }
             other => return Err(format!("unknown strategy {other}")),
@@ -220,6 +247,7 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
             score,
             wall_seconds,
             simulated_seconds,
+            device_bytes_peak,
             obs: recorder.snapshot(),
         });
     }
@@ -239,15 +267,23 @@ mod tests {
             assert!(s.bandwidth > 0.0);
             assert!(s.wall_seconds >= 0.0);
         }
-        let gpu = report.strategies.last().unwrap();
-        assert!(gpu.simulated_seconds.unwrap() > 0.0);
+        let classic = &report.strategies[7];
+        assert_eq!(classic.name, "gpu-sim");
+        assert!(classic.simulated_seconds.unwrap() > 0.0);
+        let windowed = report.strategies.last().unwrap();
+        assert_eq!(windowed.name, "gpu-windowed");
+        assert!(windowed.simulated_seconds.unwrap() > 0.0);
+        // The windowed program's whole point: a fraction of the classic
+        // footprint at the same (n, k).
+        assert!(windowed.device_bytes_peak.unwrap() < classic.device_bytes_peak.unwrap() / 2);
 
         let json = report.to_json();
-        assert!(json.starts_with("{\"version\":2,"));
+        assert!(json.starts_with("{\"version\":3,"));
         for name in STRATEGIES {
             assert!(json.contains(&format!("\"name\":\"{name}\"")), "{json}");
         }
         assert!(json.contains("\"simulated_seconds\":null"));
+        assert!(json.contains("\"device_bytes_peak\":null"));
         assert!(json.ends_with("]}"));
     }
 
@@ -294,5 +330,18 @@ mod tests {
         assert_eq!(prefix_par.counter("kernel_evals"), 0);
         // The gpu-sim path reports simulated memory traffic.
         assert!(by_name("gpu-sim").counter("mem_transactions") > 0);
+        // The windowed device program answers each (obs, bandwidth) cell
+        // with one window query resolved by binary-search probes, and its
+        // total simulated traffic stays within the per-cell O(log n) gate
+        // bound (the same formula perf_gate enforces).
+        let windowed = by_name("gpu-windowed");
+        assert_eq!(windowed.counter("window_queries"), n * k);
+        assert!(windowed.counter("binary_search_probes") > 0);
+        let log2n = (64 - (n - 1).leading_zeros()) as u64;
+        assert!(
+            windowed.counter("mem_transactions") <= n * k * (2 * log2n + 24 * 3),
+            "windowed traffic {} exceeds the per-cell bound",
+            windowed.counter("mem_transactions")
+        );
     }
 }

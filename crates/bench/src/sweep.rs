@@ -106,12 +106,12 @@ mod tests {
     #[test]
     fn small_figure1_sweep_produces_all_cells() {
         let rows = figure1_sweep(100, 10, 1, 1);
-        // 2 sizes × 6 programs.
-        assert_eq!(rows.len(), 12);
+        // 2 sizes × 7 programs.
+        assert_eq!(rows.len(), 14);
         assert!(rows.iter().all(|r| r.wall_seconds >= 0.0));
         assert!(rows
             .iter()
-            .filter(|r| r.program == Program::CudaGpu)
+            .filter(|r| r.program == Program::CudaGpu || r.program == Program::WindowedGpu)
             .all(|r| r.simulated_seconds.is_some()));
     }
 

@@ -1,0 +1,155 @@
+//! Costed device-side binary search: support-window resolution on the
+//! globally sorted sample.
+//!
+//! The windowed GPU program (in `kcv-gpu`) answers each
+//! `(observation, bandwidth)` cell from global prefix-moment tables, so the
+//! only data-dependent device work per cell is finding the support window
+//! `[lo, hi)` — two bisections over the sorted `x` with the workspace's
+//! standard predicate `d·(1/h) ≤ r`. This module provides that device
+//! function with its cost accounting: every probe is **one divergent
+//! global-memory read** (threads in a warp bisect different regions, so
+//! probes cannot coalesce), one comparison flop, and one branch.
+//!
+//! The search narrows monotonically across an ascending bandwidth sweep:
+//! the support only grows with `h`, so `lo` is bisected in `[0, lo_prev]`
+//! and `hi` in `[hi_prev, n]` — at most `~2·⌈log₂ n⌉` probes per cell, and
+//! far fewer on average once the window stabilises.
+
+use crate::cost::ThreadCounters;
+
+/// Resolves the support window `[lo, hi)` of the observation at `x = xi`
+/// for bandwidth `1/inv_h`, narrowing from the previous (smaller-bandwidth)
+/// window `[lo_prev, hi_prev)`: `lo` is bisected in `[0, lo_prev]`, `hi` in
+/// `[hi_prev, xs.len()]`.
+///
+/// The predicate is the bit-identical `(xi − xs[mid])·inv_h ≤ radius` (and
+/// its mirror) every CPU strategy uses, evaluated on the original sorted
+/// coordinates, so the returned membership set matches them exactly at
+/// equal precision. Charges one divergent global read, one flop, and one
+/// branch per probe to `c`; returns `(lo, hi, probes)` so the caller can
+/// batch the probe count into its observability counters.
+pub fn device_support_window(
+    xs: &[f32],
+    xi: f32,
+    inv_h: f32,
+    radius: f32,
+    lo_prev: usize,
+    hi_prev: usize,
+    c: &mut ThreadCounters,
+) -> (usize, usize, u32) {
+    let mut probes = 0u32;
+    // Leftmost l with (xi − xs[l])·inv_h ≤ r; the self position trivially
+    // qualifies, so the previous lo is a valid upper bisection bound.
+    let (mut a, mut b) = (0usize, lo_prev);
+    while a < b {
+        let mid = (a + b) / 2;
+        c.global_read(1);
+        c.flop(1);
+        c.branch(1);
+        probes += 1;
+        if (xi - xs[mid]) * inv_h <= radius {
+            b = mid;
+        } else {
+            a = mid + 1;
+        }
+    }
+    let lo = a;
+    // One past the rightmost l with (xs[l] − xi)·inv_h ≤ r.
+    let (mut a, mut b) = (hi_prev, xs.len());
+    while a < b {
+        let mid = (a + b) / 2;
+        c.global_read(1);
+        c.flop(1);
+        c.branch(1);
+        probes += 1;
+        if (xs[mid] - xi) * inv_h <= radius {
+            a = mid + 1;
+        } else {
+            b = mid;
+        }
+    }
+    (lo, a, probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scan reference: the inclusive support of `xi` under the same f32
+    /// predicate.
+    fn scan_window(xs: &[f32], xi: f32, inv_h: f32, radius: f32) -> (usize, usize) {
+        let lo = xs
+            .iter()
+            .position(|&v| (xi - v) * inv_h <= radius)
+            .unwrap_or(xs.len());
+        let hi = xs
+            .iter()
+            .rposition(|&v| (v - xi) * inv_h <= radius)
+            .map_or(lo, |p| p + 1);
+        (lo, hi)
+    }
+
+    fn sorted_sample(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        let mut xs: Vec<f32> = (0..n)
+            .map(|_| {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) as f32
+            })
+            .collect();
+        xs.sort_by(f32::total_cmp);
+        xs
+    }
+
+    #[test]
+    fn matches_scan_reference_over_an_ascending_sweep() {
+        let xs = sorted_sample(257, 9);
+        let n = xs.len();
+        for si in [0usize, 1, 100, 255, 256] {
+            let xi = xs[si];
+            let (mut lo, mut hi) = (si, si + 1);
+            let mut c = ThreadCounters::default();
+            for step in 1..=40 {
+                let h = step as f32 * 0.03;
+                let probes;
+                (lo, hi, probes) =
+                    device_support_window(&xs, xi, 1.0 / h, 1.0, lo, hi, &mut c);
+                let (want_lo, want_hi) = scan_window(&xs, xi, 1.0 / h, 1.0);
+                assert_eq!((lo, hi), (want_lo, want_hi), "si={si} h={h}");
+                assert!(
+                    probes as usize <= 2 * n.ilog2() as usize + 4,
+                    "si={si} h={h}: {probes} probes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn charges_one_divergent_read_flop_and_branch_per_probe() {
+        let xs = sorted_sample(100, 4);
+        let mut c = ThreadCounters::default();
+        let (_, _, probes) = device_support_window(&xs, xs[50], 1.0 / 0.2, 1.0, 50, 51, &mut c);
+        assert!(probes > 0);
+        assert_eq!(c.global_reads, probes as u64);
+        assert_eq!(c.flops, probes as u64);
+        assert_eq!(c.global_coalesced, 0, "probes must not coalesce");
+    }
+
+    #[test]
+    fn duplicate_values_resolve_to_the_full_tie_run() {
+        let xs = vec![0.0f32, 0.25, 0.5, 0.5, 0.5, 0.75, 1.0];
+        let mut c = ThreadCounters::default();
+        // All three ties sit inside any window around 0.5.
+        let (lo, hi, _) = device_support_window(&xs, 0.5, 1.0 / 0.1, 1.0, 3, 4, &mut c);
+        assert_eq!((lo, hi), (2, 5));
+    }
+
+    #[test]
+    fn degenerate_window_stays_empty_at_tiny_bandwidth() {
+        let xs = vec![0.0f32, 10.0, 20.0];
+        let mut c = ThreadCounters::default();
+        let (lo, hi, _) = device_support_window(&xs, 10.0, 1.0 / 0.5, 1.0, 1, 2, &mut c);
+        assert_eq!((lo, hi), (1, 2), "only the observation itself is in support");
+    }
+}

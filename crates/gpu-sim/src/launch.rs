@@ -128,6 +128,55 @@ where
     Ok((outputs, report))
 }
 
+/// Launches an independent kernel that both mutates a per-thread workspace
+/// *and* returns a value per thread — the shape of a kernel whose stores
+/// land in device buffers while its register-resident results are gathered
+/// by the host-side simulation driver (e.g. per-thread partial sums handed
+/// to a block reduction). Outputs come back in thread order.
+pub fn launch_independent_map<W, R, F>(
+    spec: &DeviceSpec,
+    cost: &CostModel,
+    config: LaunchConfig,
+    workspaces: Vec<W>,
+    kernel: F,
+) -> Result<(Vec<R>, LaunchReport)>
+where
+    W: Send,
+    R: Send,
+    F: Fn(usize, &mut W, &mut ThreadCounters) -> R + Sync,
+{
+    config.validate(spec)?;
+    if workspaces.len() != config.threads {
+        return Err(SimError::InvalidLaunch(format!(
+            "{} workspaces for {} threads",
+            workspaces.len(),
+            config.threads
+        )));
+    }
+    let _launch = kcv_obs::phase("gpu.launch");
+    let scope = kcv_obs::scope();
+    let start = Instant::now();
+    let pairs: Vec<(R, ThreadCounters)> = workspaces
+        .into_par_iter()
+        .enumerate()
+        .map(|(tid, mut ws)| {
+            let _in_scope = scope.enter();
+            let mut c = ThreadCounters::default();
+            let r = kernel(tid, &mut ws, &mut c);
+            (r, c)
+        })
+        .collect();
+    let host_seconds = start.elapsed().as_secs_f64();
+    let mut outputs = Vec::with_capacity(pairs.len());
+    let mut counters = Vec::with_capacity(pairs.len());
+    for (r, c) in pairs {
+        outputs.push(r);
+        counters.push(c);
+    }
+    let report = build_report(&counters, config, spec, cost, host_seconds);
+    Ok((outputs, report))
+}
+
 pub(crate) fn build_report(
     counters: &[ThreadCounters],
     config: LaunchConfig,
@@ -197,6 +246,35 @@ mod tests {
         assert_eq!(out, (0..64).map(|t| t * 2).collect::<Vec<_>>());
         assert_eq!(report.totals.flops, (0..64).sum::<usize>() as u64);
         assert!(report.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn launch_independent_map_mutates_and_returns() {
+        let (spec, cost) = tesla();
+        let mut data = vec![0.0f32; 64];
+        let workspaces: Vec<&mut f32> = data.iter_mut().collect();
+        let cfg = LaunchConfig::new(64, 32);
+        let (out, report) =
+            launch_independent_map(&spec, &cost, cfg, workspaces, |tid, slot, c| {
+                **slot = tid as f32;
+                c.global_write(1);
+                tid * 3
+            })
+            .unwrap();
+        assert_eq!(out, (0..64).map(|t| t * 3).collect::<Vec<_>>());
+        assert_eq!(report.totals.global_writes, 64);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+        // Workspace-count mismatch is rejected like launch_independent.
+        let r = launch_independent_map(
+            &spec,
+            &cost,
+            LaunchConfig::new(4, 4),
+            vec![(), ()],
+            |_, _, _| 0u32,
+        );
+        assert!(r.is_err());
     }
 
     #[test]

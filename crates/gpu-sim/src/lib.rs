@@ -49,6 +49,7 @@
 pub mod cooperative;
 pub mod cost;
 pub mod device;
+pub mod device_search;
 pub mod device_sort;
 pub mod error;
 pub mod launch;
@@ -58,8 +59,9 @@ pub mod reduce;
 pub use cooperative::{CooperativeBlock, SharedWrites};
 pub use cost::{CostModel, LaunchReport, ThreadCounters};
 pub use device::DeviceSpec;
+pub use device_search::device_support_window;
 pub use device_sort::device_sort_with_aux;
 pub use error::{Result, SimError};
-pub use launch::{launch_independent, launch_map, LaunchConfig};
+pub use launch::{launch_independent, launch_independent_map, launch_map, LaunchConfig};
 pub use memory::{ConstantMemory, DeviceBuffer, MemoryPool};
 pub use reduce::{min_payload_reduction, sum_reduction, sum_reduction_strided};

@@ -12,8 +12,14 @@
 use crate::gpu_kernel_type::MAX_DEVICE_DEGREE;
 use kcv_gpu_sim::{device_sort_with_aux, ThreadCounters};
 
-/// Per-thread workspace for the main kernel: thread `j`'s rows of the five
-/// global-memory matrices (two `n×n`, three `n×k`).
+/// Per-thread workspace for the main kernel: thread `j`'s rows of the four
+/// matrices whose layout *is* one row per thread (two `n×n`, two `n×k`).
+/// The squared residuals are **not** part of the workspace: their device
+/// layout is bandwidth-major (the §IV-B index switch), so thread `j`'s `k`
+/// values are scattered across the residual matrix at stride `n` — the
+/// kernel returns them and the launch driver places them (see
+/// [`crate::pipeline`]), with the store cost charged here where the store
+/// conceptually happens.
 pub(crate) struct MainWorkspace<'a> {
     /// Row `j` of the `|X_i − X_j|` matrix.
     pub dist: &'a mut [f32],
@@ -23,11 +29,6 @@ pub(crate) struct MainWorkspace<'a> {
     pub num: &'a mut [f32],
     /// Row `j` of the denominator-sum matrix.
     pub den: &'a mut [f32],
-    /// Thread `j`'s `k` squared-residual slots. In the modelled (default)
-    /// layout these live bandwidth-major in the device matrix (the §IV-B
-    /// index switch); the physical backing here is per-thread rows, with the
-    /// layout expressed through the coalescing accounting.
-    pub sqres: &'a mut [f32],
 }
 
 /// The main kernel: one thread per observation `j`.
@@ -39,6 +40,10 @@ pub(crate) struct MainWorkspace<'a> {
 /// 4. exclude observation `j` itself from the final sums (leave-one-out);
 /// 5. emit the bandwidth-specific sums and the squared residual
 ///    `(Y_j − ĝ_{-j}(X_j))² · M(X_j)`.
+///
+/// Returns the thread's `k` squared residuals in bandwidth order; each
+/// store into the device residual matrix is charged here (coalesced under
+/// the §IV-B index switch, scattered in the obs-major ablation).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn main_kernel(
     j: usize,
@@ -50,7 +55,7 @@ pub(crate) fn main_kernel(
     sqres_coalesced: bool,
     ws: &mut MainWorkspace<'_>,
     c: &mut ThreadCounters,
-) {
+) -> Vec<f32> {
     let n = x.len();
     let deg = coeffs.len() - 1;
     debug_assert!(deg <= MAX_DEVICE_DEGREE);
@@ -78,6 +83,7 @@ pub(crate) fn main_kernel(
     // higher power.
     let mut s = [0.0f32; MAX_DEVICE_DEGREE + 1];
     let mut sy = [0.0f32; MAX_DEVICE_DEGREE + 1];
+    let mut sqres = vec![0.0f32; bandwidths.len()];
     let mut p = 0usize;
     for (m, &h) in bandwidths.iter().enumerate() {
         c.constant_read(1);
@@ -127,7 +133,7 @@ pub(crate) fn main_kernel(
             // M(X_j) = 0: the observation contributes nothing at this h.
             0.0
         };
-        ws.sqres[m] = sq;
+        sqres[m] = sq;
         // §IV-B index switch: in the modelled (default) layout the residual
         // matrix is bandwidth-major, so at each m consecutive threads j
         // write consecutive addresses m·n + j — a coalesced store. In the
@@ -138,6 +144,7 @@ pub(crate) fn main_kernel(
             c.global_write(1);
         }
     }
+    sqres
 }
 
 #[cfg(test)]
@@ -182,17 +189,14 @@ mod tests {
         let mut yrow = vec![0.0f32; n];
         let mut num = vec![0.0f32; k];
         let mut den = vec![0.0f32; k];
-        let mut sqres = vec![0.0f32; k];
         let mut ws = MainWorkspace {
             dist: &mut dist,
             yrow: &mut yrow,
             num: &mut num,
             den: &mut den,
-            sqres: &mut sqres,
         };
         let mut c = ThreadCounters::default();
-        main_kernel(j, x, y, hs, &kernel.coeffs, kernel.radius, true, &mut ws, &mut c);
-        sqres
+        main_kernel(j, x, y, hs, &kernel.coeffs, kernel.radius, true, &mut ws, &mut c)
     }
 
     fn test_data() -> (Vec<f32>, Vec<f32>, Vec<f32>) {

@@ -19,6 +19,12 @@
 //! mirroring the paper's §IV-C methodology of checking the sequential C and
 //! CUDA programs against each other.
 //!
+//! Alongside the faithful port, [`select_bandwidth_gpu_windowed`] runs the
+//! *windowed* program (module [`windowed`]' docs): the prefix-moment
+//! strategy on the device, needing only `O(n·(deg+2) + k)` bytes instead of
+//! the `O(n²)` matrices — it selects the same bandwidth while running far
+//! past the paper's n ≈ 23 000 four-gigabyte wall.
+//!
 //! ```
 //! use kcv_core::grid::BandwidthGrid;
 //! use kcv_gpu::{select_bandwidth_gpu, GpuConfig};
@@ -41,14 +47,20 @@ mod gpu_kernel_type;
 mod kernel;
 mod multi_device;
 mod pipeline;
+pub mod windowed;
 
 pub use config::GpuConfig;
 pub use error::{GpuError, Result};
 pub use gpu_kernel_type::{GpuKernel, MAX_DEVICE_DEGREE};
 pub use multi_device::{
-    required_bytes_per_device, select_bandwidth_multi_gpu, MultiDeviceRun,
+    required_bytes_per_device, select_bandwidth_multi_gpu,
+    select_bandwidth_multi_gpu_windowed, MultiDeviceRun,
 };
 pub use pipeline::{
     required_device_bytes, select_bandwidth_gpu, select_bandwidth_gpu_kernel, GpuRun,
     PipelineReport,
+};
+pub use windowed::{
+    required_device_bytes_windowed, select_bandwidth_gpu_windowed,
+    select_bandwidth_gpu_windowed_kernel, WindowedReport, WindowedRun,
 };

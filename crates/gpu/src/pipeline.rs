@@ -18,7 +18,7 @@ use crate::kernel::{main_kernel, MainWorkspace};
 use kcv_core::error::validate_sample;
 use kcv_core::grid::BandwidthGrid;
 use kcv_gpu_sim::{
-    launch_independent, min_payload_reduction, sum_reduction, sum_reduction_strided,
+    launch_independent_map, min_payload_reduction, sum_reduction, sum_reduction_strided,
     ConstantMemory, LaunchConfig, LaunchReport, MemoryPool, ThreadCounters,
 };
 use std::time::Instant;
@@ -95,6 +95,10 @@ pub fn select_bandwidth_gpu_kernel(
     }
     let wall_start = Instant::now();
     let coalesced_layout = !config.obs_major_residuals;
+    // The reduction block must respect the device maximum wherever it is
+    // used; clamp once so the summation and minimum reductions (and the
+    // multi-device path, which mirrors this) cannot diverge.
+    let reduction_threads = config.reduction_threads.min(config.spec.max_threads_per_block);
 
     // Host-side single-precision inputs (the paper's programs generate and
     // process f32 data).
@@ -120,8 +124,10 @@ pub fn select_bandwidth_gpu_kernel(
     y_dev.copy_from_host(&y32)?;
     let bandwidths = ConstantMemory::new(&config.spec, &h32)?;
 
-    // Main kernel: one thread per observation, over each thread's rows.
-    let main_report = {
+    // Main kernel: one thread per observation, over each thread's rows. The
+    // squared residuals come back per thread and land in the device matrix
+    // below in whatever physical layout the configuration charges for.
+    let (sqres_rows, main_report) = {
         let x_view = x_dev.as_slice();
         let y_view = y_dev.as_slice();
         let bw_view = bandwidths.as_slice();
@@ -131,18 +137,11 @@ pub fn select_bandwidth_gpu_kernel(
             .zip(y_mat.as_mut_slice().chunks_mut(n))
             .zip(num_mat.as_mut_slice().chunks_mut(k))
             .zip(den_mat.as_mut_slice().chunks_mut(k))
-            .zip(sqres_mat.as_mut_slice().chunks_mut(k))
-            .map(|((((dist, yrow), num), den), sqres)| MainWorkspace {
-                dist,
-                yrow,
-                num,
-                den,
-                sqres,
-            })
+            .map(|(((dist, yrow), num), den)| MainWorkspace { dist, yrow, num, den })
             .collect();
         let coeffs = kernel.coeffs.as_slice();
         let radius = kernel.radius;
-        launch_independent(
+        launch_independent_map(
             &config.spec,
             &config.cost,
             LaunchConfig::new(n, config.threads_per_block.min(config.spec.max_threads_per_block)),
@@ -153,32 +152,45 @@ pub fn select_bandwidth_gpu_kernel(
         )?
     };
 
-    // Gather the residual matrix in bandwidth-major order for the
-    // reductions. With the index switch (default) this is the layout the
-    // main kernel wrote — a zero-cost bookkeeping view here; in the
-    // obs-major ablation the reductions pay the strided-access price
-    // instead.
-    let bw_major: Vec<f32> = {
-        let obs_major = sqres_mat.as_slice();
-        let mut out = vec![0.0f32; n * k];
-        for j in 0..n {
-            for m in 0..k {
-                out[m * n + j] = obs_major[j * k + m];
+    // Place each thread's residuals into the *pool-backed* residual matrix
+    // in the physical layout whose stores the kernel charged: bandwidth-
+    // major `[m·n + j]` under the §IV-B index switch (so the per-bandwidth
+    // reductions read consecutive device addresses), observation-major
+    // `[j·k + m]` in the ablation. No host-side shadow copy: the reductions
+    // below read this device memory directly.
+    {
+        let sqres = sqres_mat.as_mut_slice();
+        for (j, row) in sqres_rows.iter().enumerate() {
+            for (m, &v) in row.iter().enumerate() {
+                if coalesced_layout {
+                    sqres[m * n + j] = v;
+                } else {
+                    sqres[j * k + m] = v;
+                }
             }
         }
-        out
-    };
+    }
 
     // k summation reductions (one per bandwidth), then the min reduction.
     let mut reduction_totals = ThreadCounters::default();
     let mut reduction_cycles = 0.0;
     {
+        let sqres = sqres_mat.as_slice();
         let scores_out = scores_dev.as_mut_slice();
-        for (m, row) in bw_major.chunks(n).enumerate() {
+        for m in 0..k {
             let (sum, report) = if coalesced_layout {
-                sum_reduction(&config.spec, &config.cost, config.reduction_threads, row)?
+                sum_reduction(
+                    &config.spec,
+                    &config.cost,
+                    reduction_threads,
+                    &sqres[m * n..(m + 1) * n],
+                )?
             } else {
-                sum_reduction_strided(&config.spec, &config.cost, config.reduction_threads, row)?
+                // Obs-major: bandwidth m's residuals sit at stride k. The
+                // strided reduction charges the scattered loads; the gather
+                // here only adapts the access pattern for the simulator.
+                let column: Vec<f32> = (0..n).map(|j| sqres[j * k + m]).collect();
+                sum_reduction_strided(&config.spec, &config.cost, reduction_threads, &column)?
             };
             scores_out[m] = sum / n as f32;
             reduction_totals.absorb(&report.totals);
@@ -188,7 +200,7 @@ pub fn select_bandwidth_gpu_kernel(
     let ((min_score, best_h), min_report) = min_payload_reduction(
         &config.spec,
         &config.cost,
-        config.reduction_threads.min(config.spec.max_threads_per_block),
+        reduction_threads,
         scores_dev.as_slice(),
         bandwidths.as_slice(),
     )?;
@@ -356,6 +368,42 @@ mod tests {
         assert!(r.main_kernel.totals.flops > 0);
         assert!(r.main_kernel.totals.global_coalesced > 0, "residual writes are coalesced");
         assert!(r.reduction_totals.syncs > 0);
+    }
+
+    #[test]
+    fn residual_matrix_lives_in_the_pool_peak_is_exactly_the_formula() {
+        // Regression: the bandwidth-major residual gather used to run
+        // through a host `Vec` shadow of the residual matrix, bypassing the
+        // memory pool — under-reporting `device_bytes_peak` and hiding an
+        // uncharged device→host transfer. The residuals must live in the
+        // pool-backed matrix, so the peak equals the §IV-A formula exactly
+        // and the only transfers are x/y in and the k scores out.
+        let (x, y) = paper_data(150, 11);
+        let grid = BandwidthGrid::paper_default(&x, 20).unwrap();
+        for config in [
+            GpuConfig::default(),
+            GpuConfig { obs_major_residuals: true, ..GpuConfig::default() },
+        ] {
+            let run = select_bandwidth_gpu(&x, &y, &grid, &config).unwrap();
+            assert_eq!(run.report.device_bytes_peak, required_device_bytes(150, 20));
+            assert_eq!(run.report.h2d_bytes, 2 * 150 * 4);
+            assert_eq!(run.report.d2h_bytes, 20 * 4);
+        }
+    }
+
+    #[test]
+    fn oversized_reduction_threads_clamped_to_device_maximum() {
+        // Regression: `reduction_threads` above the device block maximum
+        // used to reach the summation reductions unclamped and error out.
+        let (x, y) = paper_data(100, 13);
+        let grid = BandwidthGrid::paper_default(&x, 10).unwrap();
+        let default_run = select_bandwidth_gpu(&x, &y, &grid, &GpuConfig::default()).unwrap();
+        let oversized =
+            GpuConfig { reduction_threads: 1024, ..GpuConfig::default() };
+        assert!(oversized.reduction_threads > oversized.spec.max_threads_per_block);
+        let clamped_run = select_bandwidth_gpu(&x, &y, &grid, &oversized).unwrap();
+        assert_eq!(clamped_run.bandwidth, default_run.bandwidth);
+        assert_eq!(clamped_run.scores, default_run.scores);
     }
 
     #[test]

@@ -123,10 +123,17 @@ pub enum Counter {
     /// `KernelEvals` stays zero while this counter carries its `O(n·k)`
     /// cost — the contrast the perf gate asserts.
     WindowQueries = 6,
+    /// Individual binary-search probes spent resolving support windows —
+    /// the device-side refinement of [`Counter::WindowQueries`]: one query
+    /// costs at most `~2·⌈log₂ n⌉` probes (fewer with monotone narrowing),
+    /// and each probe is one divergent global-memory read on the simulated
+    /// GPU. The windowed GPU program's traffic gate is stated in these
+    /// terms.
+    BinarySearchProbes = 7,
 }
 
 /// Number of counters (array sizing).
-const NUM_COUNTERS: usize = 7;
+const NUM_COUNTERS: usize = 8;
 
 impl Counter {
     /// Every counter, in serialisation order.
@@ -138,6 +145,7 @@ impl Counter {
         Counter::MemTransactions,
         Counter::GpuSimCycles,
         Counter::WindowQueries,
+        Counter::BinarySearchProbes,
     ];
 
     /// The snake_case name used in snapshots and JSON.
@@ -150,6 +158,7 @@ impl Counter {
             Counter::MemTransactions => "mem_transactions",
             Counter::GpuSimCycles => "gpu_sim_cycles",
             Counter::WindowQueries => "window_queries",
+            Counter::BinarySearchProbes => "binary_search_probes",
         }
     }
 }
