@@ -5,7 +5,7 @@
 CARGO ?= cargo
 FLAGS ?= --offline
 
-.PHONY: verify build test test-metrics doc clippy perf-gate bench-report clean
+.PHONY: verify build test test-metrics doc clippy perf-gate bench-report scaling clean
 
 ## The full PR gate: build, tests with metrics off AND on, docs, lints,
 ## and the counter-based performance gate.
@@ -35,13 +35,25 @@ clippy:
 ## that the merge-sweep's sort comparisons stay O(n log n) with kernel evals
 ## matching the sorted sweep's, that the prefix-moment sweep answers every
 ## (obs, bandwidth) cell within the n·k·ceil(log2 n) window-query ceiling
-## with zero kernel evals, and that the windowed GPU program holds its
+## with zero kernel evals, that the windowed GPU program holds its
 ## memory contract — peak device bytes ≤ 16·n·(deg+2) (no n² term) and
 ## simulated memory transactions ≤ n·k·(2·ceil(log2 n) + 24·(deg+1)), i.e.
-## O(k·log n) per observation (see crates/bench/src/bin/perf_gate.rs).
+## O(k·log n) per observation — and that the bagged selector holds its
+## n-independence contract: work ≤ bags·bag_size·k window queries with
+## zero kernel evals (no n term), measured peak host-heap bytes ≤
+## workers × one bag's documented footprint bound
+## (see crates/bench/src/bin/perf_gate.rs).
 perf-gate:
 	$(CARGO) run $(FLAGS) --release -p kcv-bench --features metrics \
 		--bin perf_gate -- --n 2000 --k 100
+
+## The past-the-paper scaling study (EXPERIMENTS.md SCALE): bagged CV at
+## n = 10^5..10^7 vs the full-data prefix reference, with the binary's own
+## acceptance checks as the gate. Writes results/scaling.csv and a
+## schema-v4 BENCH_report.json with the scaling rows (CI uploads both).
+## Full run (full-data reference up to 10^6) takes ~30 s in release.
+scaling:
+	$(CARGO) run $(FLAGS) --release -p kcv-bench --bin scaling
 
 ## Regenerate results/BENCH_report.json with live counters (small n).
 bench-report:

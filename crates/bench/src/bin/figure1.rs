@@ -25,7 +25,7 @@ fn main() {
     let marks = [('r', Program::RacineHayfield), ('m', Program::MulticoreR),
                  ('s', Program::SequentialC), ('c', Program::MergedC),
                  ('p', Program::PrefixC), ('g', Program::CudaGpu),
-                 ('w', Program::WindowedGpu)];
+                 ('w', Program::WindowedGpu), ('b', Program::Bagged)];
     for (mark, program) in marks {
         let points: Vec<(f64, f64)> = rows
             .iter()
@@ -63,6 +63,7 @@ fn main() {
                 Program::MergedC => 5.0,
                 Program::PrefixC => 6.0,
                 Program::WindowedGpu => 7.0,
+                Program::Bagged => 8.0,
             },
             r.wall_seconds,
             r.simulated_seconds.unwrap_or(f64::NAN),

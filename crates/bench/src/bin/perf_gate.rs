@@ -32,6 +32,17 @@
 //!     `n · k · (2·ceil(log2 n) + 24·(deg + 1))`: two binary searches plus a
 //!     constant number of prefix-table touches per cell. A per-neighbour
 //!     scan (the classic running-sum loop) is `Θ(n)` per cell and fails.
+//! 11. `bagged` total work stays ≤ `B ×` one bag's bound — window queries
+//!     at most `bags · bag_size · k` and **zero** kernel evals (prefix
+//!     engine), with `bags`/`bag_size` read from the report itself. The
+//!     ceiling has no `n` term at fixed `(B, r)`: a bagged run that
+//!     quietly sweeps the full sample per bag fails by orders of
+//!     magnitude;
+//! 12. `bagged` measured host-heap peak stays ≤ `workers ×` one bag's
+//!     documented footprint bound (`kcv_core::select::bagged::
+//!     bag_footprint_bound_bytes`) — each rayon worker holds at most one
+//!     bag's subsample and tables at a time, so keeping every bag's data
+//!     alive at once (or materialising anything `O(n)` per bag) fails.
 //!
 //! Exits non-zero if any gate fails, printing each gate's verdict and then
 //! naming the failures, so `make verify` and CI fail if a regression
@@ -42,39 +53,12 @@
 //! Usage: `cargo run -p kcv-bench --features metrics --bin perf_gate --
 //! [--n N] [--k K] [--out results/BENCH_report.json]`
 
+use kcv_bench::json::{f64_field, strategy_slice, u64_field};
 use kcv_bench::report::{collect_report, ReportConfig};
 use kcv_bench::table::{arg_parse, arg_value};
+use kcv_core::select::bagged::bag_footprint_bound_bytes;
 use std::path::Path;
 use std::process::ExitCode;
-
-/// Extracts one strategy's JSON object (from its `"name"` key to the start
-/// of the next strategy or the end of the array) out of a report string.
-fn strategy_slice<'a>(json: &'a str, name: &str) -> Option<&'a str> {
-    let needle = format!("{{\"name\":\"{name}\"");
-    let start = json.find(&needle)?;
-    let rest = &json[start + needle.len()..];
-    let end = rest.find("{\"name\":\"").map_or(rest.len(), |e| e);
-    Some(&rest[..end])
-}
-
-/// Reads an unsigned integer field (`"key":123`) from a JSON slice.
-fn u64_field(slice: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\":");
-    let start = slice.find(&needle)? + needle.len();
-    let digits: String = slice[start..].chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
-}
-
-/// Reads a float field (`"key":0.125`) from a JSON slice.
-fn f64_field(slice: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let start = slice.find(&needle)? + needle.len();
-    let num: String = slice[start..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E')
-        .collect();
-    num.parse().ok()
-}
 
 /// One gate's verdict: `ok == None` means skipped (with the reason in
 /// `detail`), otherwise pass/fail plus the numbers behind it.
@@ -110,17 +94,18 @@ fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
         return gates;
     }
 
-    let (sorted, merged, prefix, prefix_par, windowed) = match (
+    let (sorted, merged, prefix, prefix_par, windowed, bagged) = match (
         strategy_slice(json, "sorted"),
         strategy_slice(json, "merged"),
         strategy_slice(json, "prefix"),
         strategy_slice(json, "prefix-par"),
         strategy_slice(json, "gpu-windowed"),
+        strategy_slice(json, "bagged"),
     ) {
-        (Some(s), Some(m), Some(p), Some(pp), Some(w)) => (s, m, p, pp, w),
+        (Some(s), Some(m), Some(p), Some(pp), Some(w), Some(b)) => (s, m, p, pp, w, b),
         _ => {
             gates.push(Gate::pass_if(
-                "report lists sorted/merged/prefix/prefix-par/gpu-windowed strategies",
+                "report lists sorted/merged/prefix/prefix-par/gpu-windowed/bagged strategies",
                 false,
                 "at least one strategy entry is missing from the report".into(),
             ));
@@ -221,6 +206,36 @@ fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
         format!("0 < {windowed_txns} <= n*k*(2*ceil(log2 n) + 24*(deg+1)) = {txn_ceiling}"),
     ));
 
+    // --- bagged contracts (this PR) ------------------------------------
+    // Both ceilings are functions of (bags, bag_size, k, workers) read
+    // from the report itself — deliberately independent of n, which is
+    // the bagged selector's entire value proposition.
+    let bags = field(bagged, "bags");
+    let bag_size = field(bagged, "bag_size");
+    let work_ceiling = bags * bag_size * k as u64;
+    let bagged_queries = field(bagged, "window_queries");
+    let bagged_evals = field(bagged, "kernel_evals");
+    gates.push(Gate::pass_if(
+        "bagged work stays within B x one bag's bound, no n term",
+        bags > 0
+            && bag_size > 0
+            && bagged_evals == 0
+            && bagged_queries > 0
+            && bagged_queries <= work_ceiling,
+        format!(
+            "0 < {bagged_queries} <= B*r*k = {work_ceiling}, kernel_evals {bagged_evals} == 0"
+        ),
+    ));
+
+    let workers = field(bagged, "workers");
+    let bagged_peak = field(bagged, "host_bytes_peak");
+    let mem_ceiling = workers * bag_footprint_bound_bytes(bag_size as usize, k);
+    gates.push(Gate::pass_if(
+        "bagged peak memory stays within workers x one bag's footprint",
+        workers > 0 && bagged_peak > 0 && bagged_peak <= mem_ceiling,
+        format!("0 < {bagged_peak} <= workers({workers}) * bag_bound = {mem_ceiling}"),
+    ));
+
     gates
 }
 
@@ -298,7 +313,11 @@ mod tests {
         \"kernel_evals\":0,\"window_queries\":200000}}},\
         {\"name\":\"gpu-windowed\",\"bandwidth\":0.125000,\
         \"device_bytes_peak\":58048,\"obs\":{\"counters\":{\
-        \"window_queries\":200000,\"mem_transactions\":5600000}}}]}";
+        \"window_queries\":200000,\"mem_transactions\":5600000}}},\
+        {\"name\":\"bagged\",\"bandwidth\":0.120000,\
+        \"bagged\":{\"bags\":10,\"bag_size\":500,\"combiner\":\"mean\",\
+        \"workers\":8,\"host_bytes_peak\":900000},\"obs\":{\"counters\":{\
+        \"kernel_evals\":0,\"window_queries\":500000,\"bags_run\":10}}}]}";
 
     #[test]
     fn strategy_slice_isolates_one_entry() {
@@ -333,8 +352,10 @@ mod tests {
         // n = 2,000, k = 100: ceil(log2 2000) = 11, so the window-query
         // ceiling is 2,200,000, the comparison ceiling 66,000, the windowed
         // peak ceiling 128,000 bytes and the transaction ceiling 18,800,000.
+        // Bagged (B = 10, r = 500): work ceiling 500,000 queries; memory
+        // ceiling 8 × (256·500 + 64·100 + 65,536) = 1,599,488 bytes.
         let gates = evaluate_gates(SAMPLE, 2_000, 100);
-        assert_eq!(gates.len(), 10);
+        assert_eq!(gates.len(), 12);
         assert!(gates.iter().all(|g| g.ok == Some(true)), "{:?}", fails(&gates));
     }
 
@@ -416,6 +437,51 @@ mod tests {
         let failed = fails(&gates);
         assert!(failed.contains(&"windowed peak device bytes stay O(n), no n^2 term"));
         assert!(failed.contains(&"windowed mem transactions stay O(k log n) per observation"));
+    }
+
+    #[test]
+    fn bagged_work_gate_catches_a_full_sample_sweep() {
+        // A bagged run that sweeps all n observations per bag does
+        // B·n·k = 10·2,000·100 = 2,000,000 queries, four times the
+        // B·r·k = 500,000 ceiling.
+        let bad = SAMPLE.replace("\"window_queries\":500000", "\"window_queries\":2000000");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(fails(&gates), vec!["bagged work stays within B x one bag's bound, no n term"]);
+    }
+
+    #[test]
+    fn bagged_work_gate_catches_a_kernel_evaluating_engine() {
+        let bad = SAMPLE.replace(
+            "\"kernel_evals\":0,\"window_queries\":500000",
+            "\"kernel_evals\":7,\"window_queries\":500000",
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(fails(&gates), vec!["bagged work stays within B x one bag's bound, no n term"]);
+    }
+
+    #[test]
+    fn bagged_memory_gate_catches_all_bags_held_alive() {
+        // Keeping all 10 bags' data live (or anything O(n)-sized) blows
+        // through the 8-worker × 199,936-byte = 1,599,488 ceiling.
+        let bad = SAMPLE.replace("\"host_bytes_peak\":900000", "\"host_bytes_peak\":100000000");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["bagged peak memory stays within workers x one bag's footprint"]
+        );
+    }
+
+    #[test]
+    fn bagged_gates_refuse_zero_counts() {
+        // A report whose bagged entry never ran (no queries, no peak) must
+        // not pass by vacuity.
+        let bad = SAMPLE
+            .replace("\"window_queries\":500000", "\"window_queries\":0")
+            .replace("\"host_bytes_peak\":900000", "\"host_bytes_peak\":0");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        let failed = fails(&gates);
+        assert!(failed.contains(&"bagged work stays within B x one bag's bound, no n term"));
+        assert!(failed.contains(&"bagged peak memory stays within workers x one bag's footprint"));
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Minimal substring readers for `BENCH_report.json`.
+//!
+//! The workspace has no JSON dependency (offline policy), and the report is
+//! hand-rolled by `report::PerfReport::to_json`, so the consumers — the
+//! perf gate, the schema round-trip test — read it with targeted substring
+//! scans instead of a parser. The helpers live here so every consumer reads
+//! fields the same way; they are deliberately dumb (no nesting awareness
+//! beyond the strategy-entry split) and rely on the writer's fixed key
+//! order and formatting.
+
+/// Extracts one strategy's JSON object (from its `"name"` key to the start
+/// of the next strategy or the end of the array) out of a report string.
+pub fn strategy_slice<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("{{\"name\":\"{name}\"");
+    let start = json.find(&needle)?;
+    let rest = &json[start + needle.len()..];
+    let end = rest.find("{\"name\":\"").map_or(rest.len(), |e| e);
+    Some(&rest[..end])
+}
+
+/// Reads an unsigned integer field (`"key":123`) from a JSON slice.
+pub fn u64_field(slice: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = slice.find(&needle)? + needle.len();
+    let digits: String = slice[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Reads a float field (`"key":0.125`) from a JSON slice.
+pub fn f64_field(slice: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = slice.find(&needle)? + needle.len();
+    let num: String = slice[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E')
+        .collect();
+    num.parse().ok()
+}
+
+/// Reads a string field (`"key":"value"`) from a JSON slice.
+pub fn str_field<'a>(slice: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = slice.find(&needle)? + needle.len();
+    let rest = &slice[start..];
+    rest.find('"').map(|end| &rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "{\"version\":4,\"strategies\":[\
+        {\"name\":\"sorted\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
+        \"sort_comparisons\":400000}}},\
+        {\"name\":\"bagged\",\"bandwidth\":0.110000,\
+        \"bagged\":{\"bags\":10,\"bag_size\":500,\"combiner\":\"mean\"}}]}";
+
+    #[test]
+    fn strategy_slice_isolates_one_entry() {
+        let sorted = strategy_slice(SAMPLE, "sorted").unwrap();
+        assert!(sorted.contains("\"sort_comparisons\":400000"));
+        assert!(!sorted.contains("\"bags\":10"));
+        assert!(strategy_slice(SAMPLE, "gpu-sim").is_none());
+    }
+
+    #[test]
+    fn field_readers_parse_numbers_and_strings() {
+        let bagged = strategy_slice(SAMPLE, "bagged").unwrap();
+        assert_eq!(u64_field(bagged, "bags"), Some(10));
+        assert_eq!(u64_field(bagged, "bag_size"), Some(500));
+        assert_eq!(f64_field(bagged, "bandwidth"), Some(0.11));
+        assert_eq!(str_field(bagged, "combiner"), Some("mean"));
+        assert_eq!(u64_field(bagged, "missing"), None);
+        assert_eq!(str_field(bagged, "missing"), None);
+        assert_eq!(u64_field(SAMPLE, "version"), Some(4));
+    }
+}

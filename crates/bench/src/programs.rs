@@ -2,6 +2,7 @@
 
 use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
+use kcv_core::select::{BaggedSelector, BandwidthSelector, GridSpec};
 use kcv_gpu::{select_bandwidth_gpu, select_bandwidth_gpu_windowed, GpuConfig};
 use kcv_np::{npregbw, NpRegBwOptions};
 use std::time::Instant;
@@ -32,13 +33,18 @@ pub enum Program {
     /// the simulated device, `O(n·(deg+2) + k)` device bytes instead of the
     /// classic program's `O(n²)` matrices.
     WindowedGpu,
+    /// Beyond the paper — "Bagged": Barreiro-Ures-style subsampled bagging
+    /// (`B = 25` bags of `r = min(n, 2000)`, prefix engine, mean combiner,
+    /// rescaled by `(r/n)^{1/5}`), the only program whose cost does not
+    /// grow with `n` once `n > r`.
+    Bagged,
 }
 
 impl Program {
     /// Every program, in the paper's order (with the merge-sweep and
     /// prefix-moment sweeps slotted after the sequential sorted sweep they
     /// successively improve on).
-    pub fn all() -> [Program; 7] {
+    pub fn all() -> [Program; 8] {
         [
             Program::RacineHayfield,
             Program::MulticoreR,
@@ -47,6 +53,7 @@ impl Program {
             Program::PrefixC,
             Program::CudaGpu,
             Program::WindowedGpu,
+            Program::Bagged,
         ]
     }
 
@@ -60,6 +67,7 @@ impl Program {
             Program::PrefixC => "Prefix C",
             Program::CudaGpu => "CUDA on GPU",
             Program::WindowedGpu => "Windowed GPU",
+            Program::Bagged => "Bagged",
         }
     }
 }
@@ -149,6 +157,24 @@ pub fn run_program(
                 evaluations: k,
             })
         }
+        Program::Bagged => {
+            // r caps at 2,000 (the ISSUE's scaling-study setting); below
+            // that the bags are the full sample and bagging degenerates to
+            // B redundant prefix selections, so small-n comparisons against
+            // the other programs stay meaningful.
+            let bag_size = x.len().min(2_000);
+            let selector =
+                BaggedSelector::new(Epanechnikov, GridSpec::PaperDefault(k), 25, bag_size)
+                    .with_seed(42);
+            let sel = selector.select(x, y).map_err(|e| e.to_string())?;
+            Ok(ProgramResult {
+                bandwidth: sel.bandwidth,
+                score: sel.score,
+                wall_seconds: start.elapsed().as_secs_f64(),
+                simulated_seconds: None,
+                evaluations: sel.evaluations,
+            })
+        }
     }
 }
 
@@ -231,6 +257,21 @@ mod tests {
         let step = 1.0 / 50.0;
         assert!((gpu.bandwidth - win.bandwidth).abs() < step + 1e-9);
         assert!(win.simulated_seconds.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn bagged_program_degenerates_to_prefix_below_the_bag_cap() {
+        // n < 2,000: every bag is the full sample and the rescale factor is
+        // 1, so the Bagged program agrees with Prefix C up to the one
+        // rounding step of averaging 25 identical values (sum/25 is not a
+        // power-of-two division; bit identity is only guaranteed at B = 1,
+        // which the core proptest pins).
+        let s = PaperDgp.sample(250, 10);
+        let prefix = run_program(Program::PrefixC, &s.x, &s.y, 40, 1).unwrap();
+        let bagged = run_program(Program::Bagged, &s.x, &s.y, 40, 1).unwrap();
+        assert!((bagged.bandwidth - prefix.bandwidth).abs() <= 1e-12 * prefix.bandwidth);
+        assert!((bagged.score - prefix.score).abs() <= 1e-12 * prefix.score.abs());
+        assert_eq!(bagged.evaluations, 25 * 40);
     }
 
     #[test]

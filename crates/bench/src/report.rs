@@ -13,7 +13,7 @@
 //! snapshots are per-run deltas by construction — immune to any other
 //! instrumented code running concurrently in the process.
 //!
-//! ## Schema (version 3)
+//! ## Schema (version 4)
 //!
 //! Version 2 renamed the per-phase `seconds` field to `cpu_seconds`:
 //! overlapping same-name phase scopes on different rayon workers sum to CPU
@@ -21,11 +21,27 @@
 //! *Phase-timer semantics* rustdoc). Version 3 added the `gpu-windowed`
 //! strategy (the O(n)-memory device program) and the per-strategy
 //! `device_bytes_peak` field (`null` for CPU strategies) that the
-//! windowed-memory perf gate reads.
+//! windowed-memory perf gate reads. Version 4 adds:
+//!
+//! * the `bagged` strategy entry, whose nested `bagged` object (`null` on
+//!   every other strategy) records `bags` (their `N`), `bag_size` (their
+//!   `r`), the `combiner`, the rayon `workers` the bags were chunked over,
+//!   and `host_bytes_peak` — the *measured* host-heap high-water delta of
+//!   the run from the crate's counting allocator (see `alloc_track`), which
+//!   the bagged-memory perf gate divides by `workers`;
+//! * the top-level `scaling` array (empty unless written by the `scaling`
+//!   binary) with one row per past-the-paper sample size;
+//! * an explicit restatement of the version-2 rule because the bagged run
+//!   is the first *multi-bag parallel* strategy in the report: the
+//!   `cv.bag` phase's `cpu_seconds` is the **sum over bags on all
+//!   workers**, so it exceeds the strategy's `wall_seconds` whenever bags
+//!   actually overlapped — that is the parallelism working, not a timer
+//!   bug. Tooling comparing strategies must use `wall_seconds`; phase
+//!   `cpu_seconds` only ever compares against other phase `cpu_seconds`.
 //!
 //! ```json
 //! {
-//!   "version": 3,
+//!   "version": 4,
 //!   "metrics_enabled": true,
 //!   "config": {"n": 1000, "k": 50, "seed": 42, "kernel": "epanechnikov"},
 //!   "strategies": [
@@ -36,11 +52,27 @@
 //!       "wall_seconds": 0.0124,
 //!       "simulated_seconds": null,
 //!       "device_bytes_peak": null,
+//!       "bagged": null,
 //!       "obs": {
 //!         "counters": {"kernel_evals": 49950000, "sort_comparisons": 0, ...},
 //!         "phases": {"cv.naive": {"calls": 1, "cpu_seconds": 0.0123}, ...}
 //!       }
+//!     },
+//!     {
+//!       "name": "bagged",
+//!       "bandwidth": 0.102,
+//!       ...
+//!       "bagged": {"bags": 10, "bag_size": 500, "combiner": "mean",
+//!                   "workers": 8, "host_bytes_peak": 392704},
+//!       "obs": {...}
 //!     }
+//!   ],
+//!   "scaling": [
+//!     {"n": 10000000, "bags": 25, "bag_size": 2000, "combiner": "mean",
+//!      "bagged_wall_seconds": 0.021, "bagged_host_bytes_peak": 81920000,
+//!      "bagged_bandwidth": 0.0021, "full_wall_seconds": null,
+//!      "full_host_bytes_peak": null, "full_bandwidth": null,
+//!      "full_score": null, "bagged_regret": null}
 //!   ]
 //! }
 //! ```
@@ -51,6 +83,8 @@ use kcv_core::cv::{
 };
 use kcv_core::grid::BandwidthGrid;
 use kcv_core::kernels::Epanechnikov;
+use kcv_core::select::bagged::{bag_workers, BaggedSelector};
+use kcv_core::select::{BandwidthSelector, GridSpec};
 use kcv_gpu::{select_bandwidth_gpu, select_bandwidth_gpu_windowed, GpuConfig};
 use kcv_obs::Snapshot;
 use std::time::Instant;
@@ -60,10 +94,14 @@ use std::time::Instant;
 /// Version 2: phase timers serialise as `cpu_seconds` (was `seconds`).
 /// Version 3: added the `gpu-windowed` strategy and the per-strategy
 /// `device_bytes_peak` field.
-pub const REPORT_VERSION: u32 = 3;
+/// Version 4: added the `bagged` strategy (nested `bags`/`bag_size`/
+/// `combiner`/`workers`/`host_bytes_peak` object) and the top-level
+/// `scaling` array; documented that multi-bag parallel phase `cpu_seconds`
+/// legitimately exceeds `wall_seconds` (the module-level schema notes).
+pub const REPORT_VERSION: u32 = 4;
 
 /// The strategies a report covers, in emission order.
-pub const STRATEGIES: [&str; 9] = [
+pub const STRATEGIES: [&str; 10] = [
     "naive",
     "sorted",
     "parallel",
@@ -73,6 +111,7 @@ pub const STRATEGIES: [&str; 9] = [
     "prefix-par",
     "gpu-sim",
     "gpu-windowed",
+    "bagged",
 ];
 
 /// The `(n, k, seed)` point a report was measured at.
@@ -84,6 +123,64 @@ pub struct ReportConfig {
     pub k: usize,
     /// DGP seed.
     pub seed: u64,
+}
+
+/// The bagged strategy's extra dimensions (schema v4): the subsampling
+/// configuration and the *measured* host-memory peak the bagged-memory perf
+/// gate checks against `workers ×` one bag's documented footprint bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaggedInfo {
+    /// Number of bags `B` (Barreiro-Ures et al.'s `N`).
+    pub bags: usize,
+    /// Subsample size `r` per bag.
+    pub bag_size: usize,
+    /// Aggregation rule label (`"mean"` / `"median"`).
+    pub combiner: &'static str,
+    /// Rayon workers the bags were chunked over — the maximum number of
+    /// bags whose data is live simultaneously.
+    pub workers: u64,
+    /// Measured host-heap high-water delta of the run, from the crate's
+    /// counting allocator ([`crate::alloc_track`]). Only meaningful when
+    /// nothing else allocates concurrently (true in the `perf_gate` and
+    /// `scaling` mains; not under `cargo test`).
+    pub host_bytes_peak: u64,
+}
+
+/// One row of the past-the-paper scaling study (schema v4, written by the
+/// `scaling` binary). The `full_*` fields are `None` where the full-data
+/// prefix run was skipped as infeasible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Sample size.
+    pub n: usize,
+    /// Bags `B` in the bagged run.
+    pub bags: usize,
+    /// Subsample size `r` per bag.
+    pub bag_size: usize,
+    /// Aggregation rule label.
+    pub combiner: &'static str,
+    /// Bagged selection wall time.
+    pub bagged_wall_seconds: f64,
+    /// Bagged selection measured host-heap peak delta (bytes).
+    pub bagged_host_bytes_peak: u64,
+    /// The bagged (combined, rescaled) bandwidth.
+    pub bagged_bandwidth: f64,
+    /// Full-data prefix wall time, where feasible.
+    pub full_wall_seconds: Option<f64>,
+    /// Full-data prefix measured host-heap peak delta (bytes).
+    pub full_host_bytes_peak: Option<u64>,
+    /// Full-data prefix bandwidth.
+    pub full_bandwidth: Option<f64>,
+    /// Full-data CV score at [`ScalingRow::full_bandwidth`] (the grid
+    /// minimum).
+    pub full_score: Option<f64>,
+    /// Relative full-data CV regret of the bagged bandwidth:
+    /// `(CV_n(h_bag) − CV_n(h_full)) / CV_n(h_full)`. This is the study's
+    /// quality metric — the CV valley is so flat at these `n` that
+    /// bandwidth ratios sit inside the CV minimizer's own `O(n^{−1/10})`
+    /// noise, while the regret says directly how much objective the bagged
+    /// answer gives up.
+    pub bagged_regret: Option<f64>,
 }
 
 /// One strategy's measurement: selection outcome, wall time, and the
@@ -104,6 +201,8 @@ pub struct StrategyPerf {
     /// The windowed-memory perf gate pins `gpu-windowed`'s value to the
     /// O(n·(deg+2) + k) formula.
     pub device_bytes_peak: Option<u64>,
+    /// Bagged-run dimensions (the `bagged` strategy only).
+    pub bagged: Option<BaggedInfo>,
     /// Counters and phase timers recorded during the run.
     pub obs: Snapshot,
 }
@@ -115,6 +214,9 @@ pub struct PerfReport {
     pub config: ReportConfig,
     /// Per-strategy results, in [`STRATEGIES`] order.
     pub strategies: Vec<StrategyPerf>,
+    /// Past-the-paper scaling rows; empty except in reports written by the
+    /// `scaling` binary.
+    pub scaling: Vec<ScalingRow>,
 }
 
 impl PerfReport {
@@ -139,15 +241,57 @@ impl PerfReport {
             let peak = s
                 .device_bytes_peak
                 .map_or("null".to_string(), |v| v.to_string());
+            let bagged = s.bagged.map_or("null".to_string(), |b| {
+                format!(
+                    "{{\"bags\":{},\"bag_size\":{},\"combiner\":\"{}\",\
+                     \"workers\":{},\"host_bytes_peak\":{}}}",
+                    b.bags, b.bag_size, b.combiner, b.workers, b.host_bytes_peak,
+                )
+            });
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"bandwidth\":{:.12},\"score\":{:.12},\
                  \"wall_seconds\":{:.9},\"simulated_seconds\":{sim},\
-                 \"device_bytes_peak\":{peak},\"obs\":{}}}",
+                 \"device_bytes_peak\":{peak},\"bagged\":{bagged},\"obs\":{}}}",
                 s.name,
                 s.bandwidth,
                 s.score,
                 s.wall_seconds,
                 s.obs.to_json(),
+            ));
+        }
+        out.push_str("],\"scaling\":[");
+        for (i, r) in self.scaling.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let fw = r
+                .full_wall_seconds
+                .map_or("null".to_string(), |v| format!("{v:.9}"));
+            let fp = r
+                .full_host_bytes_peak
+                .map_or("null".to_string(), |v| v.to_string());
+            let fb = r
+                .full_bandwidth
+                .map_or("null".to_string(), |v| format!("{v:.12}"));
+            let fs = r
+                .full_score
+                .map_or("null".to_string(), |v| format!("{v:.12}"));
+            let rg = r
+                .bagged_regret
+                .map_or("null".to_string(), |v| format!("{v:.12}"));
+            out.push_str(&format!(
+                "{{\"n\":{},\"bags\":{},\"bag_size\":{},\"combiner\":\"{}\",\
+                 \"bagged_wall_seconds\":{:.9},\"bagged_host_bytes_peak\":{},\
+                 \"bagged_bandwidth\":{:.12},\"full_wall_seconds\":{fw},\
+                 \"full_host_bytes_peak\":{fp},\"full_bandwidth\":{fb},\
+                 \"full_score\":{fs},\"bagged_regret\":{rg}}}",
+                r.n,
+                r.bags,
+                r.bag_size,
+                r.combiner,
+                r.bagged_wall_seconds,
+                r.bagged_host_bytes_peak,
+                r.bagged_bandwidth,
             ));
         }
         out.push_str("]}");
@@ -172,6 +316,7 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
     for name in STRATEGIES {
         let recorder = kcv_obs::Recorder::new();
         let scope = recorder.install();
+        let mut bagged_info = None;
         let start = Instant::now();
         let (bandwidth, score, simulated_seconds, device_bytes_peak) = match name {
             "naive" => {
@@ -237,6 +382,33 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
                     Some(run.report.device_bytes_peak as u64),
                 )
             }
+            "bagged" => {
+                // Small-report defaults: enough bags to exercise the
+                // machinery without dominating the gate's runtime. The
+                // scaling binary uses the ISSUE's (B = 25, r = 2,000).
+                let bags = 10;
+                let bag_size = config.n.min(500);
+                let selector = BaggedSelector::new(
+                    Epanechnikov,
+                    GridSpec::PaperDefault(config.k),
+                    bags,
+                    bag_size,
+                )
+                .with_seed(config.seed);
+                crate::alloc_track::reset_peak();
+                let baseline = crate::alloc_track::current_bytes();
+                let sel = selector.select(&s.x, &s.y).map_err(|e| e.to_string())?;
+                let host_bytes_peak =
+                    crate::alloc_track::peak_bytes().saturating_sub(baseline);
+                bagged_info = Some(BaggedInfo {
+                    bags,
+                    bag_size,
+                    combiner: "mean",
+                    workers: bag_workers(bags),
+                    host_bytes_peak,
+                });
+                (sel.bandwidth, sel.score, None, None)
+            }
             other => return Err(format!("unknown strategy {other}")),
         };
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -248,10 +420,11 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
             wall_seconds,
             simulated_seconds,
             device_bytes_peak,
+            bagged: bagged_info,
             obs: recorder.snapshot(),
         });
     }
-    Ok(PerfReport { config, strategies })
+    Ok(PerfReport { config, strategies, scaling: Vec::new() })
 }
 
 #[cfg(test)]
@@ -270,21 +443,137 @@ mod tests {
         let classic = &report.strategies[7];
         assert_eq!(classic.name, "gpu-sim");
         assert!(classic.simulated_seconds.unwrap() > 0.0);
-        let windowed = report.strategies.last().unwrap();
+        let windowed = &report.strategies[8];
         assert_eq!(windowed.name, "gpu-windowed");
         assert!(windowed.simulated_seconds.unwrap() > 0.0);
         // The windowed program's whole point: a fraction of the classic
         // footprint at the same (n, k).
         assert!(windowed.device_bytes_peak.unwrap() < classic.device_bytes_peak.unwrap() / 2);
+        let bagged = report.strategies.last().unwrap();
+        assert_eq!(bagged.name, "bagged");
+        let info = bagged.bagged.unwrap();
+        assert_eq!(info.bags, 10);
+        // n = 120 < 500: bags fall back to the full sample.
+        assert_eq!(info.bag_size, 120);
+        assert_eq!(info.combiner, "mean");
+        assert!(info.workers >= 1);
+        // Peak is measured under a concurrent test harness, so only
+        // presence and plausibility are asserted here (see alloc_track).
+        assert!(info.host_bytes_peak > 0);
+        assert!(report.strategies.iter().filter(|s| s.bagged.is_some()).count() == 1);
 
         let json = report.to_json();
-        assert!(json.starts_with("{\"version\":3,"));
+        assert!(json.starts_with("{\"version\":4,"));
         for name in STRATEGIES {
             assert!(json.contains(&format!("\"name\":\"{name}\"")), "{json}");
         }
         assert!(json.contains("\"simulated_seconds\":null"));
         assert!(json.contains("\"device_bytes_peak\":null"));
-        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"bagged\":null"));
+        assert!(json.contains("\"bagged\":{\"bags\":10,"));
+        assert!(json.ends_with(",\"scaling\":[]}"));
+    }
+
+    /// Schema v4 round-trip: every field written by `to_json` must be
+    /// readable back through the shared `json` helpers, so a future version
+    /// bump that drops or renames a field fails here instead of silently
+    /// producing reports the gate half-reads (ISSUE 7's bugfix satellite).
+    #[test]
+    fn report_json_round_trips_through_the_shared_readers() {
+        use crate::json::{f64_field, str_field, strategy_slice, u64_field};
+
+        let obs = Snapshot::default();
+        let report = PerfReport {
+            config: ReportConfig { n: 1_000, k: 50, seed: 7 },
+            strategies: vec![
+                StrategyPerf {
+                    name: "prefix",
+                    bandwidth: 0.125,
+                    score: 0.5,
+                    wall_seconds: 0.25,
+                    simulated_seconds: None,
+                    device_bytes_peak: None,
+                    bagged: None,
+                    obs: obs.clone(),
+                },
+                StrategyPerf {
+                    name: "bagged",
+                    bandwidth: 0.118,
+                    score: 0.51,
+                    wall_seconds: 0.03,
+                    simulated_seconds: None,
+                    device_bytes_peak: None,
+                    bagged: Some(BaggedInfo {
+                        bags: 25,
+                        bag_size: 2_000,
+                        combiner: "median",
+                        workers: 8,
+                        host_bytes_peak: 4_300_800,
+                    }),
+                    obs,
+                },
+            ],
+            scaling: vec![
+                ScalingRow {
+                    n: 10_000_000,
+                    bags: 25,
+                    bag_size: 2_000,
+                    combiner: "mean",
+                    bagged_wall_seconds: 0.5,
+                    bagged_host_bytes_peak: 81_920_000,
+                    bagged_bandwidth: 0.0021,
+                    full_wall_seconds: None,
+                    full_host_bytes_peak: None,
+                    full_bandwidth: None,
+                    full_score: None,
+                    bagged_regret: None,
+                },
+                ScalingRow {
+                    n: 100_000,
+                    bags: 25,
+                    bag_size: 2_000,
+                    combiner: "mean",
+                    bagged_wall_seconds: 0.4,
+                    bagged_host_bytes_peak: 1_024,
+                    bagged_bandwidth: 0.0084,
+                    full_wall_seconds: Some(12.5),
+                    full_host_bytes_peak: Some(2_400_000),
+                    full_bandwidth: Some(0.0086),
+                    full_score: Some(0.020833),
+                    bagged_regret: Some(0.000019),
+                },
+            ],
+        };
+        let json = report.to_json();
+
+        assert_eq!(u64_field(&json, "version"), Some(u64::from(REPORT_VERSION)));
+        assert_eq!(u64_field(&json, "n"), Some(1_000));
+
+        let prefix = strategy_slice(&json, "prefix").unwrap();
+        assert_eq!(f64_field(prefix, "bandwidth"), Some(0.125));
+        assert!(prefix.contains("\"bagged\":null"));
+
+        let bagged = strategy_slice(&json, "bagged").unwrap();
+        assert_eq!(u64_field(bagged, "bags"), Some(25));
+        assert_eq!(u64_field(bagged, "bag_size"), Some(2_000));
+        assert_eq!(str_field(bagged, "combiner"), Some("median"));
+        assert_eq!(u64_field(bagged, "workers"), Some(8));
+        assert_eq!(u64_field(bagged, "host_bytes_peak"), Some(4_300_800));
+
+        let scaling_start = json.find("\"scaling\":[").unwrap();
+        let scaling = &json[scaling_start..];
+        let second_row = &scaling[scaling.rfind('{').unwrap()..];
+        assert_eq!(u64_field(scaling, "n"), Some(10_000_000));
+        assert_eq!(f64_field(scaling, "bagged_bandwidth"), Some(0.0021));
+        assert!(scaling.contains("\"full_wall_seconds\":null"));
+        assert_eq!(u64_field(second_row, "n"), Some(100_000));
+        assert_eq!(f64_field(second_row, "full_wall_seconds"), Some(12.5));
+        assert_eq!(u64_field(second_row, "full_host_bytes_peak"), Some(2_400_000));
+        assert_eq!(f64_field(second_row, "full_bandwidth"), Some(0.0086));
+        assert_eq!(f64_field(second_row, "full_score"), Some(0.020833));
+        assert_eq!(f64_field(second_row, "bagged_regret"), Some(0.000019));
+        assert!(scaling.contains("\"full_score\":null"));
+        assert!(scaling.contains("\"bagged_regret\":null"));
     }
 
     #[cfg(feature = "metrics")]
@@ -337,6 +626,12 @@ mod tests {
         let windowed = by_name("gpu-windowed");
         assert_eq!(windowed.counter("window_queries"), n * k);
         assert!(windowed.counter("binary_search_probes") > 0);
+        // The bagged run (B = 10, r = min(n, 500) = n here) does exactly
+        // B × one bag's prefix work — and records one bags_run per bag.
+        let bagged = by_name("bagged");
+        assert_eq!(bagged.counter("bags_run"), 10);
+        assert_eq!(bagged.counter("window_queries"), 10 * n * k);
+        assert_eq!(bagged.counter("kernel_evals"), 0);
         let log2n = (64 - (n - 1).leading_zeros()) as u64;
         assert!(
             windowed.counter("mem_transactions") <= n * k * (2 * log2n + 24 * 3),

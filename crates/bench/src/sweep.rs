@@ -106,8 +106,8 @@ mod tests {
     #[test]
     fn small_figure1_sweep_produces_all_cells() {
         let rows = figure1_sweep(100, 10, 1, 1);
-        // 2 sizes × 7 programs.
-        assert_eq!(rows.len(), 14);
+        // 2 sizes × 8 programs.
+        assert_eq!(rows.len(), 16);
         assert!(rows.iter().all(|r| r.wall_seconds >= 0.0));
         assert!(rows
             .iter()

@@ -18,6 +18,7 @@ pub use crate::kernels::{
     Uniform,
 };
 pub use crate::select::{
-    select_bandwidth, BandwidthSelector, GridSpec, NaiveGridSearch, NumericCvSelector,
-    NumericMethod, RuleOfThumbSelector, Selection, SortedGridSearch, Strategy, ZoomGridSearch,
+    select_bandwidth, BagCombiner, BagEngine, BaggedSelection, BaggedSelector, BagOutcome,
+    BandwidthSelector, GridSpec, NaiveGridSearch, NumericCvSelector, NumericMethod,
+    RuleOfThumbSelector, Selection, SortedGridSearch, Strategy, ZoomGridSearch,
 };

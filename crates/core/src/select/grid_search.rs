@@ -49,7 +49,7 @@ pub enum GridSpec {
 }
 
 impl GridSpec {
-    fn resolve(&self, x: &[f64]) -> Result<BandwidthGrid> {
+    pub(crate) fn resolve(&self, x: &[f64]) -> Result<BandwidthGrid> {
         match self {
             GridSpec::PaperDefault(k) => BandwidthGrid::paper_default(x, *k),
             GridSpec::Explicit(g) => Ok(g.clone()),

@@ -3,6 +3,9 @@
 //! * [`grid_search`] — the paper's reliable approach: evaluate `CV_lc(h)` on
 //!   a grid (sorted sweep or naive, sequential or parallel) and take the
 //!   minimum. Guaranteed to return the *grid* optimum.
+//! * [`bagged`] — Barreiro-Ures et al.'s subsampled bagging: run any grid
+//!   strategy on `B` seeded subsamples of size `r ≪ n`, combine, and
+//!   rescale by `(r/n)^{1/5}` — cost independent of `n` at fixed `(B, r)`.
 //! * [`numeric`] — the approach the paper criticises and the R `np` package
 //!   uses: derivative-free numerical minimisation of the (non-concave) CV
 //!   objective, which can land in non-global local minima depending on the
@@ -10,10 +13,12 @@
 //! * [`rule_of_thumb`] — the ad hoc shortcuts practitioners fall back on to
 //!   avoid CV entirely (Silverman/Scott style plug-ins).
 
+pub mod bagged;
 pub mod grid_search;
 pub mod numeric;
 pub mod rule_of_thumb;
 
+pub use bagged::{BagCombiner, BagEngine, BaggedSelection, BaggedSelector, BagOutcome};
 pub use grid_search::{GridSpec, NaiveGridSearch, SortedGridSearch, Strategy, ZoomGridSearch};
 pub use numeric::{golden_section_min, nelder_mead_1d, NumericCvSelector, NumericMethod, ScalarMin};
 pub use rule_of_thumb::{scott_bandwidth, silverman_bandwidth, Rule, RuleOfThumbSelector};

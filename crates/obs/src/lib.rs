@@ -71,8 +71,9 @@
 //!
 //! Phase totals are *summed over scopes*. When same-name scopes overlap on
 //! different rayon workers the total is **CPU time**, which legitimately
-//! exceeds wall-clock — the per-observation `cv.sort` phase is the canonical
-//! example. [`Snapshot::to_json`] therefore labels the field
+//! exceeds wall-clock — the per-observation `cv.sort` phase and the
+//! per-subsample `cv.bag` phase (one scope per bag, bags spread across
+//! workers) are the canonical examples. [`Snapshot::to_json`] therefore labels the field
 //! `cpu_seconds`, not `seconds`. The workspace convention: top-level
 //! parallel regions (`cv.sweep`, `cv.merge`, `cv.window`, `cv.naive`,
 //! `gpu.launch`) are timed **once on the calling thread**, so their
@@ -130,10 +131,19 @@ pub enum Counter {
     /// GPU. The windowed GPU program's traffic gate is stated in these
     /// terms.
     BinarySearchProbes = 7,
+    /// Completed bags in a bagged CV selection (Barreiro-Ures et al.): one
+    /// increment per subsample whose per-bag grid search finished. At fixed
+    /// `(B, r)` the bagged selector's total work is at most `B ×` the
+    /// single-bag bound regardless of the full sample size `n` — the
+    /// invariant the bagged perf gate divides this counter into. Each bag
+    /// also runs under a `cv.bag` phase scope; bags execute on rayon
+    /// workers, so the phase's `cpu_seconds` sums per-bag CPU time and
+    /// legitimately exceeds wall-clock (see *Phase-timer semantics*).
+    BagsRun = 8,
 }
 
 /// Number of counters (array sizing).
-const NUM_COUNTERS: usize = 8;
+const NUM_COUNTERS: usize = 9;
 
 impl Counter {
     /// Every counter, in serialisation order.
@@ -146,6 +156,7 @@ impl Counter {
         Counter::GpuSimCycles,
         Counter::WindowQueries,
         Counter::BinarySearchProbes,
+        Counter::BagsRun,
     ];
 
     /// The snake_case name used in snapshots and JSON.
@@ -159,6 +170,7 @@ impl Counter {
             Counter::GpuSimCycles => "gpu_sim_cycles",
             Counter::WindowQueries => "window_queries",
             Counter::BinarySearchProbes => "binary_search_probes",
+            Counter::BagsRun => "bags_run",
         }
     }
 }

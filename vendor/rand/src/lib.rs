@@ -6,6 +6,9 @@
 //!
 //! * [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`]
 //! * [`Rng::random`] for the primitive types the workspace draws
+//! * [`seq::index::sample`] / [`seq::SliceRandom::choose_multiple`] —
+//!   seeded without-replacement subsampling via a sparse partial
+//!   Fisher–Yates shuffle (the bagged CV selector's subsample draw)
 //!
 //! The generator is SplitMix64 (the same family `kcv_core::util::SplitMix64`
 //! uses), so draws are deterministic and of good statistical quality, but the
@@ -93,6 +96,110 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
+pub mod seq {
+    //! Sequence-related sampling (subset of `rand::seq`).
+
+    use super::RngCore;
+
+    /// Draws one integer uniformly from `[0, bound)` by rejection sampling,
+    /// so every residue is exactly equally likely (no modulo bias).
+    fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+        debug_assert!(bound > 0, "uniform_below requires a positive bound");
+        let bound = bound as u64;
+        // 2^64 mod bound values at the top of the u64 range would map
+        // unevenly under `% bound`; reject and redraw them. At most one
+        // redraw is expected for any bound.
+        let rem = (u64::MAX % bound + 1) % bound;
+        let limit = u64::MAX - rem;
+        loop {
+            let v = rng.next_u64();
+            if v <= limit {
+                return (v % bound) as usize;
+            }
+        }
+    }
+
+    pub mod index {
+        //! Index sampling (subset of `rand::seq::index`).
+
+        use super::super::RngCore;
+        use std::collections::HashMap;
+
+        /// Samples `amount` distinct indices from `0..length` uniformly
+        /// **without replacement**, in selection order.
+        ///
+        /// This is a *partial Fisher–Yates shuffle over a virtual identity
+        /// array*: step `i` swaps virtual slots `i` and `j ∈ [i, length)`
+        /// and emits the value landing in slot `i`. Only touched slots are
+        /// stored (a hash map), so memory is `O(amount)` regardless of
+        /// `length` — drawing 2,000 indices out of 10,000,000 costs the
+        /// same as out of 10,000. With `amount == length` the result is a
+        /// uniform permutation of `0..length`.
+        ///
+        /// Determinism: the output is a pure function of the generator
+        /// state, so equal seeds give equal index sets (the property the
+        /// workspace's bagged selector relies on).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> Vec<usize> {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices without replacement from 0..{length}"
+            );
+            let mut swaps: HashMap<usize, usize> = HashMap::with_capacity(amount.min(length));
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = i + super::uniform_below(rng, length - i);
+                let at_j = swaps.get(&j).copied().unwrap_or(j);
+                let at_i = swaps.get(&i).copied().unwrap_or(i);
+                out.push(at_j);
+                // Slot j now holds what slot i held; slot i is never
+                // revisited, so its new value needs no record.
+                swaps.insert(j, at_i);
+            }
+            out
+        }
+    }
+
+    /// Without-replacement sampling from slices (subset of
+    /// `rand::seq::SliceRandom` / `IndexedRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Chooses `amount` distinct elements uniformly without
+        /// replacement, in selection order. Upstream returns a lazy
+        /// iterator; this stub materialises the references, which is all
+        /// the workspace needs.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > self.len()`.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> Vec<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose_multiple<R: RngCore + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&T> {
+            index::sample(rng, self.len(), amount)
+                .into_iter()
+                .map(|i| &self[i])
+                .collect()
+        }
+    }
+}
+
 pub mod rngs {
     //! Concrete generators (subset of `rand::rngs`).
     use super::{RngCore, SeedableRng};
@@ -129,7 +236,7 @@ pub mod rngs {
 #[cfg(test)]
 mod tests {
     use super::rngs::StdRng;
-    use super::{Rng, SeedableRng};
+    use super::{seq, Rng, SeedableRng};
 
     #[test]
     fn same_seed_same_stream() {
@@ -158,5 +265,63 @@ mod tests {
         let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
         let mean = sum / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn index_sample_is_deterministic_per_seed() {
+        let a = seq::index::sample(&mut StdRng::seed_from_u64(99), 1_000_000, 50);
+        let b = seq::index::sample(&mut StdRng::seed_from_u64(99), 1_000_000, 50);
+        let c = seq::index::sample(&mut StdRng::seed_from_u64(100), 1_000_000, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn index_sample_is_without_replacement_and_in_range() {
+        use std::collections::HashSet;
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(length, amount) in &[(10usize, 10usize), (100, 7), (1_000_000, 500)] {
+            let picked = seq::index::sample(&mut rng, length, amount);
+            assert_eq!(picked.len(), amount);
+            assert!(picked.iter().all(|&i| i < length));
+            let distinct: HashSet<usize> = picked.iter().copied().collect();
+            assert_eq!(distinct.len(), amount, "duplicate index in {picked:?}");
+        }
+    }
+
+    #[test]
+    fn index_sample_of_everything_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut all = seq::index::sample(&mut rng, 64, 64);
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_sample_is_roughly_uniform() {
+        // Each of 10 indices should appear in a 3-of-10 draw with
+        // probability 3/10; over 20,000 draws that is 6,000 ± noise.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            for i in seq::index::sample(&mut rng, 10, 3) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((5_400..=6_600).contains(&c), "index {i} drawn {c} times");
+        }
+    }
+
+    #[test]
+    fn choose_multiple_gathers_the_sampled_elements() {
+        use seq::SliceRandom;
+        let values: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let picked = values.choose_multiple(&mut StdRng::seed_from_u64(3), 10);
+        let indices = seq::index::sample(&mut StdRng::seed_from_u64(3), 100, 10);
+        assert_eq!(picked.len(), 10);
+        for (v, i) in picked.iter().zip(indices) {
+            assert_eq!(**v, values[i]);
+        }
     }
 }
