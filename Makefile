@@ -5,11 +5,11 @@
 CARGO ?= cargo
 FLAGS ?= --offline
 
-.PHONY: verify build test test-metrics doc clippy perf-gate bench-report scaling clean
+.PHONY: verify build test test-metrics doc clippy perf-gate multi-smoke bench-report scaling clean
 
 ## The full PR gate: build, tests with metrics off AND on, docs, lints,
-## and the counter-based performance gate.
-verify: build test test-metrics doc clippy perf-gate
+## the counter-based performance gate, and the d = 2 multivariate smoke.
+verify: build test test-metrics doc clippy perf-gate multi-smoke
 	@echo "verify: all gates green"
 
 build:
@@ -41,11 +41,21 @@ clippy:
 ## O(k·log n) per observation — and that the bagged selector holds its
 ## n-independence contract: work ≤ bags·bag_size·k window queries with
 ## zero kernel evals (no n term), measured peak host-heap bytes ≤
-## workers × one bag's documented footprint bound
+## workers × one bag's documented footprint bound — and (schema v5) the
+## multivariate fast-sum-updating contract: the d = 2 multi-fast strategy
+## evaluates the kernel zero times, keeps its window queries within
+## grid_points·n·d·ceil(log2 n), and beats the naive product-kernel full
+## grid by ≥ 10× wall time at the identical bandwidth vector
 ## (see crates/bench/src/bin/perf_gate.rs).
 perf-gate:
 	$(CARGO) run $(FLAGS) --release -p kcv-bench --features metrics \
 		--bin perf_gate -- --n 2000 --k 100
+
+## d = 2 smoke of the beyond-the-paper "Multi fast" program: the fast
+## full-grid selector must reproduce the naive full-grid oracle's optimum
+## end to end through the bench program surface.
+multi-smoke:
+	$(CARGO) run $(FLAGS) --release -p kcv-bench --bin multi_smoke
 
 ## The past-the-paper scaling study (EXPERIMENTS.md SCALE): bagged CV at
 ## n = 10^5..10^7 vs the full-data prefix reference, with the binary's own

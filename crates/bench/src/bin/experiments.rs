@@ -51,6 +51,7 @@ fn main() {
             wall(Program::CudaGpu),
             sim,
             wall(Program::Bagged),
+            wall(Program::MultiFast),
         ]);
         table_rows.push(vec![
             n.to_string(),
@@ -62,11 +63,12 @@ fn main() {
             fmt_seconds(wall(Program::CudaGpu)),
             fmt_seconds(sim),
             fmt_seconds(wall(Program::Bagged)),
+            fmt_seconds(wall(Program::MultiFast)),
         ]);
     }
     write_csv(
         Path::new("results/table1.csv"),
-        &["n", "racine_hayfield", "multicore_r", "sequential_c", "merged_c", "prefix_c", "cuda_wall", "cuda_simulated", "bagged"],
+        &["n", "racine_hayfield", "multicore_r", "sequential_c", "merged_c", "prefix_c", "cuda_wall", "cuda_simulated", "bagged", "multi_fast"],
         &csv_rows,
     )
     .expect("write table1.csv");
@@ -80,6 +82,7 @@ fn main() {
         "CUDA wall",
         "CUDA simulated",
         "Bagged",
+        "Multi fast",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -117,6 +120,7 @@ fn main() {
                 fmt_seconds(d),
                 "-".into(),
                 "-".into(),
+                "-".into(),
             ]
         })
         .collect();
@@ -132,6 +136,7 @@ fn main() {
         ('p', Program::PrefixC),
         ('g', Program::CudaGpu),
         ('b', Program::Bagged),
+        ('f', Program::MultiFast),
     ] {
         series.push(Series {
             label: format!("{} (wall)", program.label()),

@@ -25,7 +25,8 @@ fn main() {
     let marks = [('r', Program::RacineHayfield), ('m', Program::MulticoreR),
                  ('s', Program::SequentialC), ('c', Program::MergedC),
                  ('p', Program::PrefixC), ('g', Program::CudaGpu),
-                 ('w', Program::WindowedGpu), ('b', Program::Bagged)];
+                 ('w', Program::WindowedGpu), ('b', Program::Bagged),
+                 ('f', Program::MultiFast)];
     for (mark, program) in marks {
         let points: Vec<(f64, f64)> = rows
             .iter()
@@ -64,6 +65,7 @@ fn main() {
                 Program::PrefixC => 6.0,
                 Program::WindowedGpu => 7.0,
                 Program::Bagged => 8.0,
+                Program::MultiFast => 9.0,
             },
             r.wall_seconds,
             r.simulated_seconds.unwrap_or(f64::NAN),

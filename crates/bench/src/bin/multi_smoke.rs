@@ -1,0 +1,76 @@
+//! End-to-end `d = 2` smoke of the "Multi fast" program for `make verify`:
+//! runs the fast full-grid selector on a small paper-DGP-derived bivariate
+//! sample, cross-checks the optimum against the naive product-kernel
+//! oracle on the identical lattice, and exits non-zero on any
+//! disagreement. Fast — a few hundred observations — so the verify chain
+//! always exercises the multivariate engine through the same program
+//! surface the sweeps use, not just through unit tests.
+//!
+//! Usage: `cargo run -p kcv-bench --release --bin multi_smoke --
+//! [--n N] [--k K]`
+
+use kcv_bench::programs::{multi_dataset, multi_grid_side, multi_grids, run_program, Program};
+use kcv_bench::table::arg_parse;
+use kcv_core::kernels::Epanechnikov;
+use kcv_data::{Dgp, PaperDgp};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n = arg_parse(&args, "--n", 400usize);
+    let k = arg_parse(&args, "--k", 25usize);
+    let side = multi_grid_side(k);
+    eprintln!("multi smoke: n = {n}, k = {k} → {side}×{side} lattice…");
+
+    let s = PaperDgp.sample(n, 42);
+    let fast = match run_program(Program::MultiFast, &s.x, &s.y, k, 1) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("multi smoke: Multi fast program failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (columns, y2) = multi_dataset(&s.x, &s.y);
+    let grids = match multi_grids(&columns, side) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("multi smoke: grid resolution failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let naive =
+        match kcv_core::multi::select_full_grid_naive(&columns, &y2, &Epanechnikov, &grids) {
+            Ok(sel) => sel,
+            Err(e) => {
+                eprintln!("multi smoke: naive oracle failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+    println!(
+        "multi smoke: fast  h1 = {:.6}, CV = {:.9}, {:.1} ms",
+        fast.bandwidth,
+        fast.score,
+        fast.wall_seconds * 1e3
+    );
+    println!(
+        "multi smoke: naive h  = ({:.6}, {:.6}), CV = {:.9}",
+        naive.bandwidths[0], naive.bandwidths[1], naive.score
+    );
+
+    let same_optimum = fast.bandwidth == naive.bandwidths[0];
+    let score_close = (fast.score - naive.score).abs() <= 1e-9 * naive.score.abs().max(1e-12);
+    if same_optimum && score_close && fast.evaluations == side * side {
+        println!("multi smoke: fast engine reproduces the naive full-grid oracle");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "multi smoke: FAIL — optimum match {same_optimum}, score match {score_close}, \
+             evaluations {} (expected {})",
+            fast.evaluations,
+            side * side
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -43,6 +43,19 @@
 //!     bag_footprint_bound_bytes`) — each rayon worker holds at most one
 //!     bag's subsample and tables at a time, so keeping every bag's data
 //!     alive at once (or materialising anything `O(n)` per bag) fails.
+//! 13. the report's schema version is exactly [`REPORT_VERSION`] — the
+//!     multivariate gates below read the v5 `multi` object, so a stale
+//!     writer must fail here, not half-pass on missing fields;
+//! 14. `multi-fast` evaluates the kernel **zero** times while its
+//!     dimension sweeps actually ran (`dim_sweeps > 0`) — every product
+//!     weight comes from prefix-moment differencing over the per-dimension
+//!     Fenwick/prefix tables, never a neighbour visit;
+//! 15. `multi-fast` window queries stay within
+//!     `grid_points · n · d · ceil(log2 n)` — the d-per-cell binary-search
+//!     budget; a per-neighbour product scan is `Θ(n)` per cell and fails;
+//! 16. at `n ≥ 2,000` `multi-fast` beats `multi-naive` by ≥ 10× wall time
+//!     while selecting the bit-identical bandwidth **vector** (the
+//!     serialised `bandwidths` arrays compare equal).
 //!
 //! Exits non-zero if any gate fails, printing each gate's verdict and then
 //! naming the failures, so `make verify` and CI fail if a regression
@@ -53,8 +66,8 @@
 //! Usage: `cargo run -p kcv-bench --features metrics --bin perf_gate --
 //! [--n N] [--k K] [--out results/BENCH_report.json]`
 
-use kcv_bench::json::{f64_field, strategy_slice, u64_field};
-use kcv_bench::report::{collect_report, ReportConfig};
+use kcv_bench::json::{array_field, f64_field, strategy_slice, u64_field};
+use kcv_bench::report::{collect_report, ReportConfig, REPORT_VERSION};
 use kcv_bench::table::{arg_parse, arg_value};
 use kcv_core::select::bagged::bag_footprint_bound_bytes;
 use std::path::Path;
@@ -94,24 +107,35 @@ fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
         return gates;
     }
 
-    let (sorted, merged, prefix, prefix_par, windowed, bagged) = match (
-        strategy_slice(json, "sorted"),
-        strategy_slice(json, "merged"),
-        strategy_slice(json, "prefix"),
-        strategy_slice(json, "prefix-par"),
-        strategy_slice(json, "gpu-windowed"),
-        strategy_slice(json, "bagged"),
-    ) {
-        (Some(s), Some(m), Some(p), Some(pp), Some(w), Some(b)) => (s, m, p, pp, w, b),
-        _ => {
-            gates.push(Gate::pass_if(
-                "report lists sorted/merged/prefix/prefix-par/gpu-windowed/bagged strategies",
-                false,
-                "at least one strategy entry is missing from the report".into(),
-            ));
-            return gates;
-        }
-    };
+    let (sorted, merged, prefix, prefix_par, windowed, bagged, multi_naive, multi_fast) =
+        match (
+            strategy_slice(json, "sorted"),
+            strategy_slice(json, "merged"),
+            strategy_slice(json, "prefix"),
+            strategy_slice(json, "prefix-par"),
+            strategy_slice(json, "gpu-windowed"),
+            strategy_slice(json, "bagged"),
+            strategy_slice(json, "multi-naive"),
+            strategy_slice(json, "multi-fast"),
+        ) {
+            (Some(s), Some(m), Some(p), Some(pp), Some(w), Some(b), Some(mn), Some(mf)) => {
+                (s, m, p, pp, w, b, mn, mf)
+            }
+            _ => {
+                gates.push(Gate::pass_if(
+                    "report lists sorted/merged/prefix/prefix-par/gpu-windowed/bagged/\
+                     multi-naive/multi-fast strategies",
+                    false,
+                    "at least one strategy entry is missing from the report".into(),
+                ));
+                return gates;
+            }
+        };
+    gates.push(Gate::pass_if(
+        "report schema version matches the gate's",
+        u64_field(json, "version") == Some(u64::from(REPORT_VERSION)),
+        format!("{:?} == Some({REPORT_VERSION})", u64_field(json, "version")),
+    ));
     let field = |slice: &str, key: &str| u64_field(slice, key).unwrap_or(0);
     let log2n = (n as f64).log2().ceil() as u64;
 
@@ -236,6 +260,51 @@ fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
         format!("0 < {bagged_peak} <= workers({workers}) * bag_bound = {mem_ceiling}"),
     ));
 
+    // --- multivariate fast-sum-updating contracts (this PR) -------------
+    // The d = 2 full-grid selector: every product weight must come from
+    // the dimension-recursive prefix-moment tables, never a kernel call.
+    let mf_evals = field(multi_fast, "kernel_evals");
+    let mf_sweeps = field(multi_fast, "dim_sweeps");
+    gates.push(Gate::pass_if(
+        "multi-fast never evaluates the kernel",
+        mf_evals == 0 && mf_sweeps > 0,
+        format!("kernel_evals {mf_evals} == 0, dim_sweeps {mf_sweeps} > 0"),
+    ));
+
+    let dims = field(multi_fast, "dims");
+    let grid_points = field(multi_fast, "grid_points");
+    let mf_queries = field(multi_fast, "window_queries");
+    let mf_ceiling = grid_points * n as u64 * dims * log2n;
+    gates.push(Gate::pass_if(
+        "multi-fast window queries stay within g*n*d*ceil(log2 n)",
+        dims > 0 && grid_points > 0 && mf_queries > 0 && mf_queries <= mf_ceiling,
+        format!(
+            "0 < {mf_queries} <= g({grid_points})*n*d({dims})*ceil(log2 n) = {mf_ceiling}"
+        ),
+    ));
+
+    let nv_bw = array_field(multi_naive, "bandwidths");
+    let mf_bw = array_field(multi_fast, "bandwidths");
+    if n >= 2_000 {
+        let ratio = match (
+            f64_field(multi_naive, "wall_seconds"),
+            f64_field(multi_fast, "wall_seconds"),
+        ) {
+            (Some(nw), Some(fw)) if fw > 0.0 => nw / fw,
+            _ => 0.0,
+        };
+        gates.push(Gate::pass_if(
+            "multi-fast beats multi-naive >= 10x on the identical optimum",
+            ratio >= 10.0 && nv_bw.is_some() && nv_bw == mf_bw,
+            format!("wall ratio {ratio:.1} >= 10, bandwidths {nv_bw:?} == {mf_bw:?}"),
+        ));
+    } else {
+        gates.push(Gate::skip(
+            "multi-fast beats multi-naive >= 10x on the identical optimum",
+            format!("ratio asserted only at n >= 2,000 (n = {n})"),
+        ));
+    }
+
     gates
 }
 
@@ -302,7 +371,7 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "{\"version\":2,\"metrics_enabled\":true,\"strategies\":[\
+    const SAMPLE: &str = "{\"version\":5,\"metrics_enabled\":true,\"strategies\":[\
         {\"name\":\"sorted\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
         \"kernel_evals\":90,\"sort_comparisons\":400000}}},\
         {\"name\":\"merged\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
@@ -317,7 +386,15 @@ mod tests {
         {\"name\":\"bagged\",\"bandwidth\":0.120000,\
         \"bagged\":{\"bags\":10,\"bag_size\":500,\"combiner\":\"mean\",\
         \"workers\":8,\"host_bytes_peak\":900000},\"obs\":{\"counters\":{\
-        \"kernel_evals\":0,\"window_queries\":500000,\"bags_run\":10}}}]}";
+        \"kernel_evals\":0,\"window_queries\":500000,\"bags_run\":10}}},\
+        {\"name\":\"multi-naive\",\"bandwidth\":0.125000,\
+        \"wall_seconds\":1.500000000,\"multi\":{\"dims\":2,\"grid_points\":100,\
+        \"bandwidths\":[0.125000,0.250000]},\"obs\":{\"counters\":{\
+        \"kernel_evals\":790000000,\"window_queries\":0}}},\
+        {\"name\":\"multi-fast\",\"bandwidth\":0.125000,\
+        \"wall_seconds\":0.050000000,\"multi\":{\"dims\":2,\"grid_points\":100,\
+        \"bandwidths\":[0.125000,0.250000]},\"obs\":{\"counters\":{\
+        \"kernel_evals\":0,\"dim_sweeps\":200,\"window_queries\":400000}}}]}";
 
     #[test]
     fn strategy_slice_isolates_one_entry() {
@@ -354,8 +431,10 @@ mod tests {
         // peak ceiling 128,000 bytes and the transaction ceiling 18,800,000.
         // Bagged (B = 10, r = 500): work ceiling 500,000 queries; memory
         // ceiling 8 × (256·500 + 64·100 + 65,536) = 1,599,488 bytes.
+        // Multi-fast (g = 100, d = 2): query ceiling 100·2,000·2·11 =
+        // 4,400,000; wall ratio 1.5/0.05 = 30×.
         let gates = evaluate_gates(SAMPLE, 2_000, 100);
-        assert_eq!(gates.len(), 12);
+        assert_eq!(gates.len(), 16);
         assert!(gates.iter().all(|g| g.ok == Some(true)), "{:?}", fails(&gates));
     }
 
@@ -482,6 +561,81 @@ mod tests {
         let failed = fails(&gates);
         assert!(failed.contains(&"bagged work stays within B x one bag's bound, no n term"));
         assert!(failed.contains(&"bagged peak memory stays within workers x one bag's footprint"));
+    }
+
+    #[test]
+    fn version_gate_catches_a_stale_writer() {
+        let bad = SAMPLE.replace("\"version\":5", "\"version\":4");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(fails(&gates), vec!["report schema version matches the gate's"]);
+    }
+
+    #[test]
+    fn multi_kernel_eval_gate_catches_a_product_evaluating_engine() {
+        let bad = SAMPLE.replace(
+            "\"kernel_evals\":0,\"dim_sweeps\":200",
+            "\"kernel_evals\":7,\"dim_sweeps\":200",
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(fails(&gates), vec!["multi-fast never evaluates the kernel"]);
+    }
+
+    #[test]
+    fn multi_window_gate_catches_a_per_neighbour_product_scan() {
+        // One over the g·n·d·ceil(log2 n) = 100·2,000·2·11 = 4,400,000
+        // ceiling: queries charged per neighbour, not per cell.
+        let bad = SAMPLE.replace("\"window_queries\":400000", "\"window_queries\":4400001");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["multi-fast window queries stay within g*n*d*ceil(log2 n)"]
+        );
+    }
+
+    #[test]
+    fn multi_speedup_gate_catches_a_slow_fast_path() {
+        // Ratio 1.5/1.0 = 1.5× is far under the required 10×.
+        let bad =
+            SAMPLE.replace("\"wall_seconds\":0.050000000", "\"wall_seconds\":1.000000000");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["multi-fast beats multi-naive >= 10x on the identical optimum"]
+        );
+    }
+
+    #[test]
+    fn multi_speedup_gate_catches_a_bandwidth_vector_mismatch() {
+        // First occurrence is multi-naive's vector: any componentwise
+        // drift between the serialised arrays must fail, even when the
+        // scalar dimension-1 `bandwidth` fields still agree.
+        let bad = SAMPLE.replacen("[0.125000,0.250000]", "[0.125000,0.260000]", 1);
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["multi-fast beats multi-naive >= 10x on the identical optimum"]
+        );
+    }
+
+    #[test]
+    fn multi_speedup_gate_skips_below_two_thousand() {
+        let gates = evaluate_gates(SAMPLE, 1_000, 100);
+        let gate = gates.iter().find(|g| g.name.contains(">= 10x")).unwrap();
+        assert_eq!(gate.ok, None);
+    }
+
+    #[test]
+    fn multi_gates_refuse_zero_counts() {
+        // A report whose multi-fast entry never ran (no sweeps, no
+        // queries) must not pass by vacuity.
+        let bad = SAMPLE.replace(
+            "\"kernel_evals\":0,\"dim_sweeps\":200,\"window_queries\":400000",
+            "\"kernel_evals\":0,\"dim_sweeps\":0,\"window_queries\":0",
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        let failed = fails(&gates);
+        assert!(failed.contains(&"multi-fast never evaluates the kernel"));
+        assert!(failed.contains(&"multi-fast window queries stay within g*n*d*ceil(log2 n)"));
     }
 
     #[test]

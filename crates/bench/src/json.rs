@@ -37,6 +37,16 @@ pub fn f64_field(slice: &str, key: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Reads a flat array field (`"key":[…]`) from a JSON slice, brackets
+/// included, so two serialised arrays can be compared for bit identity.
+/// No nesting awareness: the array must not itself contain `]`.
+pub fn array_field<'a>(slice: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":[");
+    let start = slice.find(&needle)? + needle.len() - 1;
+    let rest = &slice[start..];
+    rest.find(']').map(|end| &rest[..=end])
+}
+
 /// Reads a string field (`"key":"value"`) from a JSON slice.
 pub fn str_field<'a>(slice: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":\"");
@@ -73,5 +83,13 @@ mod tests {
         assert_eq!(u64_field(bagged, "missing"), None);
         assert_eq!(str_field(bagged, "missing"), None);
         assert_eq!(u64_field(SAMPLE, "version"), Some(4));
+    }
+
+    #[test]
+    fn array_field_returns_the_bracketed_slice() {
+        let entry = "{\"name\":\"multi-fast\",\
+                     \"multi\":{\"bandwidths\":[0.104,0.088],\"dims\":2}}";
+        assert_eq!(array_field(entry, "bandwidths"), Some("[0.104,0.088]"));
+        assert_eq!(array_field(entry, "missing"), None);
     }
 }

@@ -13,7 +13,7 @@
 //! snapshots are per-run deltas by construction — immune to any other
 //! instrumented code running concurrently in the process.
 //!
-//! ## Schema (version 4)
+//! ## Schema (version 5)
 //!
 //! Version 2 renamed the per-phase `seconds` field to `cpu_seconds`:
 //! overlapping same-name phase scopes on different rayon workers sum to CPU
@@ -39,9 +39,27 @@
 //!   bug. Tooling comparing strategies must use `wall_seconds`; phase
 //!   `cpu_seconds` only ever compares against other phase `cpu_seconds`.
 //!
+//! Version 5 adds the two multivariate strategies, measured over the
+//! shared `d = 2` dataset of [`crate::programs::multi_dataset`] on a
+//! `⌊√k⌋ × ⌊√k⌋` full bandwidth lattice:
+//!
+//! * `multi-naive` — `kcv_core::multi::select_full_grid_naive`, the
+//!   product-kernel oracle that evaluates `Π_j K(·)` for every
+//!   `(i, l ≠ i, h)` triple;
+//! * `multi-fast` — `kcv_core::multi::select_full_grid`, the
+//!   dimension-recursive fast-sum-updating engine (zero kernel
+//!   evaluations; window queries and `dim_sweeps` counters instead);
+//! * the per-strategy nested `multi` object (`null` on every univariate
+//!   strategy) recording `dims`, `grid_points`, and the full per-dimension
+//!   `bandwidths` array — the scalar `bandwidth` field on those entries is
+//!   dimension 1's component, kept so every entry stays shape-compatible.
+//!   The multivariate perf gates read `multi` to pin the fast engine's
+//!   zero-eval and window-query contracts and its ≥ 10× wall-time win
+//!   over `multi-naive` at gate scale.
+//!
 //! ```json
 //! {
-//!   "version": 4,
+//!   "version": 5,
 //!   "metrics_enabled": true,
 //!   "config": {"n": 1000, "k": 50, "seed": 42, "kernel": "epanechnikov"},
 //!   "strategies": [
@@ -53,6 +71,7 @@
 //!       "simulated_seconds": null,
 //!       "device_bytes_peak": null,
 //!       "bagged": null,
+//!       "multi": null,
 //!       "obs": {
 //!         "counters": {"kernel_evals": 49950000, "sort_comparisons": 0, ...},
 //!         "phases": {"cv.naive": {"calls": 1, "cpu_seconds": 0.0123}, ...}
@@ -64,6 +83,14 @@
 //!       ...
 //!       "bagged": {"bags": 10, "bag_size": 500, "combiner": "mean",
 //!                   "workers": 8, "host_bytes_peak": 392704},
+//!       "obs": {...}
+//!     },
+//!     {
+//!       "name": "multi-fast",
+//!       "bandwidth": 0.104,
+//!       ...
+//!       "multi": {"dims": 2, "grid_points": 49,
+//!                  "bandwidths": [0.104, 0.088]},
 //!       "obs": {...}
 //!     }
 //!   ],
@@ -98,10 +125,13 @@ use std::time::Instant;
 /// `combiner`/`workers`/`host_bytes_peak` object) and the top-level
 /// `scaling` array; documented that multi-bag parallel phase `cpu_seconds`
 /// legitimately exceeds `wall_seconds` (the module-level schema notes).
-pub const REPORT_VERSION: u32 = 4;
+/// Version 5: added the `multi-naive`/`multi-fast` strategies (the `d = 2`
+/// full-grid selectors) and the per-strategy nested `multi` object
+/// (`dims`/`grid_points`/`bandwidths`, `null` on univariate strategies).
+pub const REPORT_VERSION: u32 = 5;
 
 /// The strategies a report covers, in emission order.
-pub const STRATEGIES: [&str; 10] = [
+pub const STRATEGIES: [&str; 12] = [
     "naive",
     "sorted",
     "parallel",
@@ -112,6 +142,8 @@ pub const STRATEGIES: [&str; 10] = [
     "gpu-sim",
     "gpu-windowed",
     "bagged",
+    "multi-naive",
+    "multi-fast",
 ];
 
 /// The `(n, k, seed)` point a report was measured at.
@@ -144,6 +176,21 @@ pub struct BaggedInfo {
     /// nothing else allocates concurrently (true in the `perf_gate` and
     /// `scaling` mains; not under `cargo test`).
     pub host_bytes_peak: u64,
+}
+
+/// The multivariate strategies' extra dimensions (schema v5): the grid
+/// shape and the full per-dimension bandwidth vector that the scalar
+/// `bandwidth` field (dimension 1's component) cannot carry. The
+/// multivariate perf gates compare `multi-naive`'s and `multi-fast`'s
+/// serialised `bandwidths` arrays for bit identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiInfo {
+    /// Number of regressor dimensions `d`.
+    pub dims: usize,
+    /// Total bandwidth-lattice points searched (`side^d`).
+    pub grid_points: usize,
+    /// The selected per-dimension bandwidth vector.
+    pub bandwidths: Vec<f64>,
 }
 
 /// One row of the past-the-paper scaling study (schema v4, written by the
@@ -203,6 +250,8 @@ pub struct StrategyPerf {
     pub device_bytes_peak: Option<u64>,
     /// Bagged-run dimensions (the `bagged` strategy only).
     pub bagged: Option<BaggedInfo>,
+    /// Multivariate-run dimensions (the `multi-*` strategies only).
+    pub multi: Option<MultiInfo>,
     /// Counters and phase timers recorded during the run.
     pub obs: Snapshot,
 }
@@ -248,10 +297,21 @@ impl PerfReport {
                     b.bags, b.bag_size, b.combiner, b.workers, b.host_bytes_peak,
                 )
             });
+            let multi = s.multi.as_ref().map_or("null".to_string(), |m| {
+                let bw: Vec<String> =
+                    m.bandwidths.iter().map(|b| format!("{b:.12}")).collect();
+                format!(
+                    "{{\"dims\":{},\"grid_points\":{},\"bandwidths\":[{}]}}",
+                    m.dims,
+                    m.grid_points,
+                    bw.join(","),
+                )
+            });
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"bandwidth\":{:.12},\"score\":{:.12},\
                  \"wall_seconds\":{:.9},\"simulated_seconds\":{sim},\
-                 \"device_bytes_peak\":{peak},\"bagged\":{bagged},\"obs\":{}}}",
+                 \"device_bytes_peak\":{peak},\"bagged\":{bagged},\
+                 \"multi\":{multi},\"obs\":{}}}",
                 s.name,
                 s.bandwidth,
                 s.score,
@@ -317,6 +377,7 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
         let recorder = kcv_obs::Recorder::new();
         let scope = recorder.install();
         let mut bagged_info = None;
+        let mut multi_info = None;
         let start = Instant::now();
         let (bandwidth, score, simulated_seconds, device_bytes_peak) = match name {
             "naive" => {
@@ -409,6 +470,32 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
                 });
                 (sel.bandwidth, sel.score, None, None)
             }
+            "multi-naive" | "multi-fast" => {
+                // Both multivariate strategies run on the shared derived
+                // d = 2 dataset and the identical √k-per-side lattice, so
+                // the perf gate's ≥ 10× wall-ratio and bandwidth-identity
+                // checks compare like with like.
+                let (columns, y2) = crate::programs::multi_dataset(&s.x, &s.y);
+                let side = crate::programs::multi_grid_side(config.k);
+                let grids = crate::programs::multi_grids(&columns, side)?;
+                let sel = if name == "multi-naive" {
+                    kcv_core::multi::select_full_grid_naive(
+                        &columns,
+                        &y2,
+                        &Epanechnikov,
+                        &grids,
+                    )
+                } else {
+                    kcv_core::multi::select_full_grid(&columns, &y2, &Epanechnikov, &grids)
+                }
+                .map_err(|e| e.to_string())?;
+                multi_info = Some(MultiInfo {
+                    dims: columns.len(),
+                    grid_points: side * side,
+                    bandwidths: sel.bandwidths.clone(),
+                });
+                (sel.bandwidths[0], sel.score, None, None)
+            }
             other => return Err(format!("unknown strategy {other}")),
         };
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -421,6 +508,7 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
             simulated_seconds,
             device_bytes_peak,
             bagged: bagged_info,
+            multi: multi_info,
             obs: recorder.snapshot(),
         });
     }
@@ -449,8 +537,7 @@ mod tests {
         // The windowed program's whole point: a fraction of the classic
         // footprint at the same (n, k).
         assert!(windowed.device_bytes_peak.unwrap() < classic.device_bytes_peak.unwrap() / 2);
-        let bagged = report.strategies.last().unwrap();
-        assert_eq!(bagged.name, "bagged");
+        let bagged = report.strategies.iter().find(|s| s.name == "bagged").unwrap();
         let info = bagged.bagged.unwrap();
         assert_eq!(info.bags, 10);
         // n = 120 < 500: bags fall back to the full sample.
@@ -462,8 +549,20 @@ mod tests {
         assert!(info.host_bytes_peak > 0);
         assert!(report.strategies.iter().filter(|s| s.bagged.is_some()).count() == 1);
 
+        // The two multivariate entries share the d = 2 lattice and select
+        // the identical bandwidth vector (fast == naive oracle).
+        let mnaive = report.strategies.iter().find(|s| s.name == "multi-naive").unwrap();
+        let mfast = report.strategies.iter().find(|s| s.name == "multi-fast").unwrap();
+        let (ni, fi) = (mnaive.multi.as_ref().unwrap(), mfast.multi.as_ref().unwrap());
+        assert_eq!(ni.dims, 2);
+        // k = 10 → side 3 → 9 lattice points.
+        assert_eq!(ni.grid_points, 9);
+        assert_eq!(ni, fi);
+        assert_eq!(mnaive.bandwidth, ni.bandwidths[0]);
+        assert!(report.strategies.iter().filter(|s| s.multi.is_some()).count() == 2);
+
         let json = report.to_json();
-        assert!(json.starts_with("{\"version\":4,"));
+        assert!(json.starts_with("{\"version\":5,"));
         for name in STRATEGIES {
             assert!(json.contains(&format!("\"name\":\"{name}\"")), "{json}");
         }
@@ -471,6 +570,8 @@ mod tests {
         assert!(json.contains("\"device_bytes_peak\":null"));
         assert!(json.contains("\"bagged\":null"));
         assert!(json.contains("\"bagged\":{\"bags\":10,"));
+        assert!(json.contains("\"multi\":null"));
+        assert!(json.contains("\"multi\":{\"dims\":2,\"grid_points\":9,\"bandwidths\":["));
         assert!(json.ends_with(",\"scaling\":[]}"));
     }
 
@@ -494,6 +595,7 @@ mod tests {
                     simulated_seconds: None,
                     device_bytes_peak: None,
                     bagged: None,
+                    multi: None,
                     obs: obs.clone(),
                 },
                 StrategyPerf {
@@ -509,6 +611,22 @@ mod tests {
                         combiner: "median",
                         workers: 8,
                         host_bytes_peak: 4_300_800,
+                    }),
+                    multi: None,
+                    obs: obs.clone(),
+                },
+                StrategyPerf {
+                    name: "multi-fast",
+                    bandwidth: 0.104,
+                    score: 0.49,
+                    wall_seconds: 0.01,
+                    simulated_seconds: None,
+                    device_bytes_peak: None,
+                    bagged: None,
+                    multi: Some(MultiInfo {
+                        dims: 2,
+                        grid_points: 100,
+                        bandwidths: vec![0.104, 0.088],
                     }),
                     obs,
                 },
@@ -559,6 +677,16 @@ mod tests {
         assert_eq!(str_field(bagged, "combiner"), Some("median"));
         assert_eq!(u64_field(bagged, "workers"), Some(8));
         assert_eq!(u64_field(bagged, "host_bytes_peak"), Some(4_300_800));
+        assert!(bagged.contains("\"multi\":null"));
+
+        let mfast = strategy_slice(&json, "multi-fast").unwrap();
+        assert_eq!(u64_field(mfast, "dims"), Some(2));
+        assert_eq!(u64_field(mfast, "grid_points"), Some(100));
+        assert_eq!(
+            crate::json::array_field(mfast, "bandwidths"),
+            Some("[0.104000000000,0.088000000000]")
+        );
+        assert!(mfast.contains("\"bagged\":null"));
 
         let scaling_start = json.find("\"scaling\":[").unwrap();
         let scaling = &json[scaling_start..];
@@ -632,6 +760,19 @@ mod tests {
         assert_eq!(bagged.counter("bags_run"), 10);
         assert_eq!(bagged.counter("window_queries"), 10 * n * k);
         assert_eq!(bagged.counter("kernel_evals"), 0);
+        // The multivariate pair share a k = 8 → 2×2 = 4-point d = 2
+        // lattice. The naive oracle walks neighbours (kernel evals > 0);
+        // the fast engine answers every (obs, grid-point) cell from its
+        // dimension sweeps — d window queries per cell, one dim-sweep per
+        // (grid point, dimension), and zero kernel evaluations.
+        let (g, d) = (4u64, 2u64);
+        let mnaive = by_name("multi-naive");
+        assert!(mnaive.counter("kernel_evals") > 0);
+        assert_eq!(mnaive.counter("dim_sweeps"), 0);
+        let mfast = by_name("multi-fast");
+        assert_eq!(mfast.counter("kernel_evals"), 0);
+        assert_eq!(mfast.counter("dim_sweeps"), g * d);
+        assert_eq!(mfast.counter("window_queries"), g * n * d);
         let log2n = (64 - (n - 1).leading_zeros()) as u64;
         assert!(
             windowed.counter("mem_transactions") <= n * k * (2 * log2n + 24 * 3),

@@ -41,15 +41,16 @@ pub struct SweepRow {
 }
 
 /// Runs the Figure-1/Table-I sweep: all programs (the paper's four plus
-/// the merge-sweep and prefix-moment variants) over the paper's
-/// sample sizes up to `max_n`, `k` grid bandwidths, `reps` repetitions,
-/// `nmulti` optimiser restarts. Sizes are generated from the paper DGP with
-/// a fixed seed per `n`.
+/// the merge-sweep and prefix-moment variants, and the `d = 2` "Multi
+/// fast" full-grid selector chained after the univariate eight) over the
+/// paper's sample sizes up to `max_n`, `k` grid bandwidths, `reps`
+/// repetitions, `nmulti` optimiser restarts. Sizes are generated from the
+/// paper DGP with a fixed seed per `n`.
 pub fn figure1_sweep(max_n: usize, k: usize, reps: usize, nmulti: usize) -> Vec<SweepRow> {
     let mut rows = Vec::new();
     for &n in TABLE1_SIZES.iter().filter(|&&n| n <= max_n) {
         let sample = PaperDgp.sample(n, 1_000 + n as u64);
-        for program in Program::all() {
+        for program in Program::all().into_iter().chain([Program::MultiFast]) {
             match run_program_median(program, &sample.x, &sample.y, k.min(n), nmulti, reps) {
                 Ok(r) => rows.push(SweepRow {
                     n,
@@ -106,9 +107,10 @@ mod tests {
     #[test]
     fn small_figure1_sweep_produces_all_cells() {
         let rows = figure1_sweep(100, 10, 1, 1);
-        // 2 sizes × 8 programs.
-        assert_eq!(rows.len(), 16);
+        // 2 sizes × (8 univariate programs + the chained Multi fast run).
+        assert_eq!(rows.len(), 18);
         assert!(rows.iter().all(|r| r.wall_seconds >= 0.0));
+        assert_eq!(rows.iter().filter(|r| r.program == Program::MultiFast).count(), 2);
         assert!(rows
             .iter()
             .filter(|r| r.program == Program::CudaGpu || r.program == Program::WindowedGpu)

@@ -391,19 +391,26 @@ fn accumulate_observation_prefix_ll(
     }
 }
 
-/// Computes the CV profile with the prefix-moment sweep, sequentially:
-/// `O(n log n + n·k·(log n + deg²))` total — no per-neighbour scan.
-pub fn cv_profile_prefix<K: PolynomialKernel + ?Sized>(
+/// The sequential prefix-moment scoring core shared by
+/// [`cv_profile_prefix`] and the d = 1 dispatch of the multivariate fast
+/// engine (`crate::multi::fast`): scores every bandwidth in `hs` and
+/// returns `(scores, included)` in the same order. `hs` must be
+/// non-decreasing — the support windows narrow monotonically from one
+/// bandwidth to the next, so an out-of-order list would resolve wrong
+/// windows. Callers with an arbitrary bandwidth list sort it (with an
+/// index map) first; callers holding a [`BandwidthGrid`] are ascending by
+/// construction.
+pub(crate) fn prefix_scores_for_bandwidths<K: PolynomialKernel + ?Sized>(
     x: &[f64],
     y: &[f64],
-    grid: &BandwidthGrid,
+    hs: &[f64],
     kernel: &K,
-) -> Result<CvProfile> {
+) -> Result<(Vec<f64>, Vec<usize>)> {
     let n = validate_sample(x, y, 2)?;
+    debug_assert!(hs.windows(2).all(|w| w[0] <= w[1]), "bandwidths must be non-decreasing");
     let coeffs = kernel.coeffs();
     let radius = kernel.radius();
-    let k = grid.len();
-    let hs = grid.values();
+    let k = hs.len();
     let deg = coeffs.len() - 1;
 
     let tables = PrefixTables::build(x, y, deg);
@@ -420,7 +427,20 @@ pub fn cv_profile_prefix<K: PolynomialKernel + ?Sized>(
     }
 
     let scores = sq_sums.into_iter().map(|s| s / n as f64).collect();
-    Ok(CvProfile { bandwidths: hs.to_vec(), scores, included, n })
+    Ok((scores, included))
+}
+
+/// Computes the CV profile with the prefix-moment sweep, sequentially:
+/// `O(n log n + n·k·(log n + deg²))` total — no per-neighbour scan.
+pub fn cv_profile_prefix<K: PolynomialKernel + ?Sized>(
+    x: &[f64],
+    y: &[f64],
+    grid: &BandwidthGrid,
+    kernel: &K,
+) -> Result<CvProfile> {
+    let hs = grid.values();
+    let (scores, included) = prefix_scores_for_bandwidths(x, y, hs, kernel)?;
+    Ok(CvProfile { bandwidths: hs.to_vec(), scores, included, n: x.len() })
 }
 
 /// Parallel prefix-moment CV profile: the argsort and table build run once

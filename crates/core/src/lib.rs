@@ -85,7 +85,9 @@
 //! * [`ci`] — leave-one-out cross-validated confidence bands (paper's named
 //!   extension).
 //! * [`multi`] — multivariate product-kernel regression (paper's §I grid
-//!   "or matrix" remark).
+//!   "or matrix" remark), selected by the dimension-recursive
+//!   fast-sum-updating CV engine in [`multi::fast`] (zero kernel
+//!   evaluations at d ≤ 2).
 //! * [`bootstrap`] — pairs-bootstrap bands and bandwidth-stability
 //!   diagnostics.
 //! * [`diagnostics`] — fit quality summaries used by tests and benches.

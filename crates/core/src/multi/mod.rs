@@ -1,15 +1,29 @@
-//! Multivariate kernel regression with product kernels — a forward-looking
-//! extension ("an evenly-spaced grid or matrix in multivariate contexts",
-//! §I). The weight of observation `l` at point `x` is
-//! `Π_j K((x_j − X_lj)/h_j)` with one bandwidth per regressor.
+//! Multivariate kernel regression with product kernels — the paper's §I
+//! "evenly-spaced grid or matrix in multivariate contexts". The weight of
+//! observation `l` at point `x` is `Π_j K((x_j − X_lj)/h_j)` with one
+//! bandwidth per regressor.
 //!
-//! Full per-dimension grid search is `O(kᵈ·n²)`; following common practice
-//! the selector here searches over a *scalar multiplier* of a per-dimension
-//! rule-of-thumb base vector, which keeps the grid one-dimensional while
-//! still adapting every coordinate's scale.
+//! Two engines score the CV grid:
+//!
+//! * [`fast`] — the dimension-recursive fast-sum-updating engine for
+//!   product **polynomial** kernels (zero kernel evaluations on the d ≤ 2
+//!   hot path; see the module docs for the per-dimension dispatch and
+//!   complexity). [`select_multiplier_grid`] and [`select_full_grid`] run
+//!   on it, which is what makes the full Cartesian grid — `O(kᵈ·n²)` under
+//!   the naive estimator — practical at realistic sizes.
+//! * the naive [`MultiNadarayaWatson`] double loop, kept as the agreement
+//!   oracle and as the selector for non-polynomial kernels (Gaussian,
+//!   Cosine) via [`select_multiplier_grid_naive`] /
+//!   [`select_full_grid_naive`].
+//!
+//! The scalar-multiplier search (one rule-of-thumb base vector, a 1-D grid
+//! of multipliers) remains the cheap default when a full per-dimension
+//! grid is not needed.
+
+pub mod fast;
 
 use crate::error::{Error, Result};
-use crate::kernels::Kernel;
+use crate::kernels::{Kernel, PolynomialKernel};
 use crate::select::rule_of_thumb::silverman_bandwidth;
 
 /// Multivariate product-kernel Nadaraya–Watson estimator.
@@ -72,16 +86,24 @@ impl<'a, K: Kernel> MultiNadarayaWatson<'a, K> {
         self.y.is_empty()
     }
 
-    /// Product-kernel weight of observation `l` at `point`.
-    fn weight(&self, point: &[f64], l: usize) -> f64 {
+    /// Product-kernel weight of observation `l` at `point`, tallying one
+    /// kernel evaluation per factor actually computed into `evals`.
+    fn weight_evals(&self, point: &[f64], l: usize, evals: &mut u64) -> f64 {
         let mut w = 1.0;
         for (j, col) in self.columns.iter().enumerate() {
+            *evals += 1;
             w *= self.kernel.eval((point[j] - col[l]) / self.bandwidths[j]);
             if w == 0.0 {
                 return 0.0;
             }
         }
         w
+    }
+
+    /// Product-kernel weight of observation `l` at `point`.
+    fn weight(&self, point: &[f64], l: usize) -> f64 {
+        let mut evals = 0;
+        self.weight_evals(point, l, &mut evals)
     }
 
     /// Predicts `E[Y | X = point]`; `None` on zero weight mass.
@@ -101,6 +123,11 @@ impl<'a, K: Kernel> MultiNadarayaWatson<'a, K> {
 
     /// Leave-one-out prediction at sample point `i`.
     pub fn loo_predict(&self, i: usize) -> Option<f64> {
+        let mut evals = 0;
+        self.loo_predict_evals(i, &mut evals)
+    }
+
+    fn loo_predict_evals(&self, i: usize, evals: &mut u64) -> Option<f64> {
         assert!(i < self.len(), "loo index {i} out of bounds");
         let point: Vec<f64> = self.columns.iter().map(|c| c[i]).collect();
         let mut num = 0.0;
@@ -109,24 +136,41 @@ impl<'a, K: Kernel> MultiNadarayaWatson<'a, K> {
             if l == i {
                 continue;
             }
-            let w = self.weight(&point, l);
+            let w = self.weight_evals(&point, l, evals);
             num += self.y[l] * w;
             den += w;
         }
         (den > 0.0).then(|| num / den)
     }
 
-    /// The CV score `(1/n) Σ (Y_i − ĝ_{-i})² M_i` for this bandwidth vector.
-    pub fn cv_score(&self) -> f64 {
+    /// The CV score `(1/n) Σ (Y_i − ĝ_{-i})² M_i` together with the number
+    /// of observations whose leave-one-out fit is defined — one LOO pass
+    /// for both quantities (the selectors need `included` to reject
+    /// bandwidths that exclude everyone, and re-running `loo_predict` per
+    /// observation just to count them doubled the naive CV cost).
+    ///
+    /// Kernel evaluations performed by the pass are reported to the
+    /// `kernel_evals` counter (one per product factor actually computed).
+    pub fn cv_score_included(&self) -> (f64, usize) {
         let n = self.len();
+        let mut counter = kcv_obs::LocalCounter::new(kcv_obs::Counter::KernelEvals);
+        let mut evals = 0u64;
         let mut sum = 0.0;
+        let mut included = 0usize;
         for i in 0..n {
-            if let Some(g) = self.loo_predict(i) {
+            if let Some(g) = self.loo_predict_evals(i, &mut evals) {
                 let r = self.y[i] - g;
                 sum += r * r;
+                included += 1;
             }
         }
-        sum / n as f64
+        counter.incr(evals);
+        (sum / n as f64, included)
+    }
+
+    /// The CV score `(1/n) Σ (Y_i − ĝ_{-i})² M_i` for this bandwidth vector.
+    pub fn cv_score(&self) -> f64 {
+        self.cv_score_included().0
     }
 }
 
@@ -141,58 +185,26 @@ pub struct MultiSelection {
     pub score: f64,
 }
 
-/// Selects per-dimension bandwidths by grid-searching a scalar multiplier
-/// `c ∈ [c_min, c_max]` of the per-dimension Silverman base vector.
-pub fn select_multiplier_grid<K: Kernel + Clone>(
-    columns: &[Vec<f64>],
-    y: &[f64],
-    kernel: &K,
-    multipliers: &[f64],
-) -> Result<MultiSelection> {
-    if multipliers.is_empty() {
-        return Err(Error::InvalidGrid("empty multiplier grid"));
-    }
-    let base: Vec<f64> = columns
-        .iter()
-        .map(|col| silverman_bandwidth(col, kernel))
-        .collect::<Result<_>>()?;
-    let mut best: Option<MultiSelection> = None;
-    for &c in multipliers {
-        if !(c.is_finite() && c > 0.0) {
-            return Err(Error::InvalidGrid("multipliers must be finite and positive"));
-        }
-        let hs: Vec<f64> = base.iter().map(|&b| b * c).collect();
-        let est = MultiNadarayaWatson::new(columns, y, kernel.clone(), hs.clone())?;
-        let score = est.cv_score();
-        // Skip multipliers that exclude everyone (score exactly 0 with no
-        // included observations would otherwise win spuriously).
-        let included = (0..y.len()).filter(|&i| est.loo_predict(i).is_some()).count();
-        if included == 0 {
+/// Picks the first strict minimum among grid points with at least one
+/// included observation (score exactly 0 with nobody included would
+/// otherwise win spuriously).
+fn best_index(scores: &[f64], included: &[usize]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for g in 0..scores.len() {
+        if included[g] == 0 {
             continue;
         }
-        if best.as_ref().is_none_or(|b| score < b.score) {
-            best = Some(MultiSelection { bandwidths: hs, multiplier: c, score });
+        if best.is_none_or(|b| scores[g] < scores[b]) {
+            best = Some(g);
         }
     }
-    best.ok_or(Error::NoValidBandwidth)
+    best
 }
 
-/// Selects per-dimension bandwidths over the *full* Cartesian grid — the
-/// "evenly-spaced grid or matrix in multivariate contexts" of the paper's
-/// §I. Cost is `O(kᵈ·n²)`, so this is practical for small `d` and `k`;
-/// the grid points are evaluated in parallel with rayon.
-pub fn select_full_grid<K: Kernel + Clone + Sync>(
-    columns: &[Vec<f64>],
-    y: &[f64],
-    kernel: &K,
-    per_dim_grids: &[Vec<f64>],
-) -> Result<MultiSelection> {
-    use rayon::prelude::*;
-    if per_dim_grids.len() != columns.len() {
-        return Err(Error::DimensionMismatch {
-            expected: columns.len(),
-            found: per_dim_grids.len(),
-        });
+/// Validates the Cartesian grid, returning the total number of points.
+fn validate_full_grid(d: usize, per_dim_grids: &[Vec<f64>]) -> Result<usize> {
+    if per_dim_grids.len() != d {
+        return Err(Error::DimensionMismatch { expected: d, found: per_dim_grids.len() });
     }
     let mut total = 1usize;
     for g in per_dim_grids {
@@ -209,31 +221,145 @@ pub fn select_full_grid<K: Kernel + Clone + Sync>(
     if total > 1_000_000 {
         return Err(Error::InvalidGrid("full grid exceeds 1e6 points; use the multiplier search"));
     }
+    Ok(total)
+}
 
-    // Enumerate the Cartesian product by mixed-radix decoding of an index.
-    let decode = |mut idx: usize| -> Vec<f64> {
-        let mut hs = Vec::with_capacity(per_dim_grids.len());
-        for g in per_dim_grids {
-            hs.push(g[idx % g.len()]);
-            idx /= g.len();
+/// Decodes Cartesian-grid point `idx` by mixed-radix decoding (first grid
+/// is the least-significant digit).
+fn decode_grid_point(per_dim_grids: &[Vec<f64>], mut idx: usize) -> Vec<f64> {
+    let mut hs = Vec::with_capacity(per_dim_grids.len());
+    for g in per_dim_grids {
+        hs.push(g[idx % g.len()]);
+        idx /= g.len();
+    }
+    hs
+}
+
+/// Selects per-dimension bandwidths by grid-searching a scalar multiplier
+/// `c ∈ [c_min, c_max]` of the per-dimension Silverman base vector,
+/// scoring every multiplier with the fast-sum-updating engine
+/// ([`fast::cv_scores_fast`] — zero kernel evaluations for d ≤ 2).
+///
+/// For non-polynomial kernels use [`select_multiplier_grid_naive`].
+pub fn select_multiplier_grid<K: PolynomialKernel + ?Sized>(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    kernel: &K,
+    multipliers: &[f64],
+) -> Result<MultiSelection> {
+    if multipliers.is_empty() {
+        return Err(Error::InvalidGrid("empty multiplier grid"));
+    }
+    if multipliers.iter().any(|&c| !(c.is_finite() && c > 0.0)) {
+        return Err(Error::InvalidGrid("multipliers must be finite and positive"));
+    }
+    let base: Vec<f64> = columns
+        .iter()
+        .map(|col| silverman_bandwidth(col, &kernel))
+        .collect::<Result<_>>()?;
+    let h_vectors: Vec<Vec<f64>> =
+        multipliers.iter().map(|&c| base.iter().map(|&b| b * c).collect()).collect();
+    let (scores, included) = fast::cv_scores_fast(columns, y, kernel, &h_vectors)?;
+    let g = best_index(&scores, &included).ok_or(Error::NoValidBandwidth)?;
+    Ok(MultiSelection {
+        bandwidths: h_vectors[g].clone(),
+        multiplier: multipliers[g],
+        score: scores[g],
+    })
+}
+
+/// Naive-oracle variant of [`select_multiplier_grid`]: scores every
+/// multiplier with the `O(n²·d)` [`MultiNadarayaWatson`] double loop.
+/// Works for any [`Kernel`] (Gaussian, Cosine, …).
+pub fn select_multiplier_grid_naive<K: Kernel + Clone>(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    kernel: &K,
+    multipliers: &[f64],
+) -> Result<MultiSelection> {
+    if multipliers.is_empty() {
+        return Err(Error::InvalidGrid("empty multiplier grid"));
+    }
+    let base: Vec<f64> = columns
+        .iter()
+        .map(|col| silverman_bandwidth(col, kernel))
+        .collect::<Result<_>>()?;
+    let _phase = kcv_obs::phase("cv.multi");
+    let mut best: Option<MultiSelection> = None;
+    for &c in multipliers {
+        if !(c.is_finite() && c > 0.0) {
+            return Err(Error::InvalidGrid("multipliers must be finite and positive"));
         }
-        hs
-    };
+        let hs: Vec<f64> = base.iter().map(|&b| b * c).collect();
+        let est = MultiNadarayaWatson::new(columns, y, kernel.clone(), hs.clone())?;
+        let (score, included) = est.cv_score_included();
+        if included == 0 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| score < b.score) {
+            best = Some(MultiSelection { bandwidths: hs, multiplier: c, score });
+        }
+    }
+    best.ok_or(Error::NoValidBandwidth)
+}
 
+/// Selects per-dimension bandwidths over the *full* Cartesian grid — the
+/// "evenly-spaced grid or matrix in multivariate contexts" of the paper's
+/// §I — scored with the fast-sum-updating engine
+/// ([`fast::cv_scores_fast`]): `O(g·n·(log n·(deg+1)² + deg⁴))` for d = 2
+/// with `g` total grid points and **zero kernel evaluations**, instead of
+/// the naive `O(g·n²·d)`. Grid points run in parallel with rayon.
+///
+/// For non-polynomial kernels use [`select_full_grid_naive`].
+pub fn select_full_grid<K: PolynomialKernel + ?Sized>(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    kernel: &K,
+    per_dim_grids: &[Vec<f64>],
+) -> Result<MultiSelection> {
+    let total = validate_full_grid(columns.len(), per_dim_grids)?;
+    let h_vectors: Vec<Vec<f64>> =
+        (0..total).map(|idx| decode_grid_point(per_dim_grids, idx)).collect();
+    let (scores, included) = fast::cv_scores_fast(columns, y, kernel, &h_vectors)?;
+    let g = best_index(&scores, &included).ok_or(Error::NoValidBandwidth)?;
+    Ok(MultiSelection {
+        bandwidths: h_vectors[g].clone(),
+        multiplier: f64::NAN,
+        score: scores[g],
+    })
+}
+
+/// Naive-oracle variant of [`select_full_grid`]: every grid point costs an
+/// `O(n²·d)` product-kernel double loop, so the total is `O(kᵈ·n²·d)` —
+/// practical only for small `d`, `k`, and `n`. Grid points are evaluated
+/// in parallel with rayon. Works for any [`Kernel`].
+pub fn select_full_grid_naive<K: Kernel + Clone + Sync>(
+    columns: &[Vec<f64>],
+    y: &[f64],
+    kernel: &K,
+    per_dim_grids: &[Vec<f64>],
+) -> Result<MultiSelection> {
+    use rayon::prelude::*;
+    let total = validate_full_grid(columns.len(), per_dim_grids)?;
+    let _phase = kcv_obs::phase("cv.multi");
+    let scope = kcv_obs::scope();
     let best = (0..total)
         .into_par_iter()
         .map(|idx| {
-            let hs = decode(idx);
+            let _in_scope = scope.enter();
+            let hs = decode_grid_point(per_dim_grids, idx);
             let est = MultiNadarayaWatson::new(columns, y, kernel.clone(), hs.clone())
                 .expect("validated inputs");
-            let included = (0..y.len()).filter(|&i| est.loo_predict(i).is_some()).count();
-            (hs, est.cv_score(), included)
+            let (score, included) = est.cv_score_included();
+            (hs, score, included)
         })
         .filter(|(_, _, included)| *included > 0)
         .min_by(|a, b| a.1.total_cmp(&b.1));
 
     match best {
-        Some((bandwidths, score, _)) => Ok(MultiSelection { bandwidths, multiplier: f64::NAN, score }),
+        Some((bandwidths, score, _)) => {
+            Ok(MultiSelection { bandwidths, multiplier: f64::NAN, score })
+        }
         None => Err(Error::NoValidBandwidth),
     }
 }
@@ -323,7 +449,7 @@ mod tests {
         let (cols, y) = dgp2(120, 106);
         let g1: Vec<f64> = (1..=6).map(|i| i as f64 * 0.05).collect();
         let g2 = g1.clone();
-        let full = select_full_grid(&cols, &y, &Gaussian, &[g1.clone(), g2]).unwrap();
+        let full = select_full_grid_naive(&cols, &y, &Gaussian, &[g1.clone(), g2]).unwrap();
         assert_eq!(full.bandwidths.len(), 2);
         // Any single point of the grid can't beat the full-grid optimum.
         for &h1 in &g1 {
@@ -341,7 +467,7 @@ mod tests {
         // selected h2 should not exceed h1.
         let (cols, y) = dgp2(400, 107);
         let grid: Vec<f64> = (1..=8).map(|i| i as f64 * 0.04).collect();
-        let sel = select_full_grid(&cols, &y, &Gaussian, &[grid.clone(), grid]).unwrap();
+        let sel = select_full_grid(&cols, &y, &Epanechnikov, &[grid.clone(), grid]).unwrap();
         assert!(
             sel.bandwidths[1] <= sel.bandwidths[0] + 0.04,
             "expected tighter smoothing along the curved dimension: {:?}",
@@ -352,11 +478,45 @@ mod tests {
     #[test]
     fn full_grid_validates_inputs() {
         let (cols, y) = dgp2(30, 108);
-        assert!(select_full_grid(&cols, &y, &Gaussian, &[vec![0.1]]).is_err());
-        assert!(select_full_grid(&cols, &y, &Gaussian, &[vec![0.1], vec![]]).is_err());
-        assert!(select_full_grid(&cols, &y, &Gaussian, &[vec![0.1], vec![-0.1]]).is_err());
+        assert!(select_full_grid_naive(&cols, &y, &Gaussian, &[vec![0.1]]).is_err());
+        assert!(select_full_grid_naive(&cols, &y, &Gaussian, &[vec![0.1], vec![]]).is_err());
+        assert!(select_full_grid_naive(&cols, &y, &Gaussian, &[vec![0.1], vec![-0.1]]).is_err());
         let huge: Vec<f64> = (1..=1_001).map(|i| i as f64 * 1e-3).collect();
-        assert!(select_full_grid(&cols, &y, &Gaussian, &[huge.clone(), huge]).is_err());
+        assert!(select_full_grid_naive(&cols, &y, &Gaussian, &[huge.clone(), huge.clone()]).is_err());
+        assert!(select_full_grid(&cols, &y, &Epanechnikov, &[vec![0.1]]).is_err());
+        assert!(select_full_grid(&cols, &y, &Epanechnikov, &[vec![0.1], vec![]]).is_err());
+        assert!(select_full_grid(&cols, &y, &Epanechnikov, &[vec![0.1], vec![-0.1]]).is_err());
+        assert!(select_full_grid(&cols, &y, &Epanechnikov, &[huge.clone(), huge]).is_err());
+    }
+
+    #[test]
+    fn fast_selectors_agree_with_the_naive_variants() {
+        let (cols, y) = dgp2(150, 109);
+        let grid: Vec<f64> = (1..=5).map(|i| i as f64 * 0.06).collect();
+        let fast = select_full_grid(&cols, &y, &Epanechnikov, &[grid.clone(), grid.clone()])
+            .unwrap();
+        let naive =
+            select_full_grid_naive(&cols, &y, &Epanechnikov, &[grid.clone(), grid]).unwrap();
+        assert_eq!(fast.bandwidths, naive.bandwidths);
+        assert!((fast.score - naive.score).abs() <= 1e-8 * naive.score.abs().max(1.0));
+
+        let multipliers: Vec<f64> = (1..=12).map(|i| i as f64 * 0.4).collect();
+        let fast_m = select_multiplier_grid(&cols, &y, &Epanechnikov, &multipliers).unwrap();
+        let naive_m =
+            select_multiplier_grid_naive(&cols, &y, &Epanechnikov, &multipliers).unwrap();
+        assert_eq!(fast_m.bandwidths, naive_m.bandwidths);
+        assert_eq!(fast_m.multiplier, naive_m.multiplier);
+    }
+
+    #[test]
+    fn cv_score_included_matches_the_separate_passes() {
+        let (cols, y) = dgp2(80, 110);
+        let est = MultiNadarayaWatson::new(&cols, &y, Epanechnikov, vec![0.05, 0.05]).unwrap();
+        let (score, included) = est.cv_score_included();
+        assert_eq!(score, est.cv_score());
+        let recount = (0..y.len()).filter(|&i| est.loo_predict(i).is_some()).count();
+        assert_eq!(included, recount);
+        assert!(included < y.len(), "tiny bandwidth should exclude someone");
     }
 
     #[test]

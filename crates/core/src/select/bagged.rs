@@ -57,6 +57,7 @@ use crate::cv::{
     cv_profile_merged, cv_profile_naive, cv_profile_prefix, cv_profile_sorted, CvProfile,
 };
 use crate::error::{validate_sample, Error, Result};
+use crate::grid::BandwidthGrid;
 use crate::kernels::PolynomialKernel;
 use rand::rngs::StdRng;
 use rand::{seq, SeedableRng};
@@ -245,9 +246,12 @@ impl<K: PolynomialKernel> BaggedSelector<K> {
     /// Creates a bagged selector with `bags` subsamples of `bag_size`
     /// (their `N` and `r`), the prefix-moment engine, the mean combiner,
     /// seed `0`, and parallel bags. `bags` is clamped to ≥ 1 and
-    /// `bag_size` to ≥ 2. The grid spec is resolved **per bag** — a
-    /// [`GridSpec::PaperDefault`] adapts to each subsample's domain, while
-    /// a [`GridSpec::Explicit`] grid is shared verbatim by every bag.
+    /// `bag_size` to ≥ 2. The grid spec is resolved **once from the full
+    /// sample** and the resulting grid is shared by every bag — a
+    /// [`GridSpec::PaperDefault`] therefore spans the full sample's
+    /// domain (not each subsample's), which saves `B − 1` grid
+    /// resolutions and makes per-bag CV profiles directly comparable:
+    /// every bag scores the same candidate bandwidths.
     pub fn new(kernel: K, grid: GridSpec, bags: usize, bag_size: usize) -> Self {
         Self {
             kernel,
@@ -326,20 +330,25 @@ impl<K: PolynomialKernel> BaggedSelector<K> {
         (bx, by)
     }
 
-    fn bag_profile(&self, x: &[f64], y: &[f64]) -> Result<CvProfile> {
-        let grid = self.grid.resolve(x)?;
+    fn bag_profile(&self, x: &[f64], y: &[f64], grid: &BandwidthGrid) -> Result<CvProfile> {
         match self.engine {
-            BagEngine::Naive => cv_profile_naive(x, y, &grid, &self.kernel),
-            BagEngine::SortedSweep => cv_profile_sorted(x, y, &grid, &self.kernel),
-            BagEngine::MergedSweep => cv_profile_merged(x, y, &grid, &self.kernel),
-            BagEngine::PrefixMoments => cv_profile_prefix(x, y, &grid, &self.kernel),
+            BagEngine::Naive => cv_profile_naive(x, y, grid, &self.kernel),
+            BagEngine::SortedSweep => cv_profile_sorted(x, y, grid, &self.kernel),
+            BagEngine::MergedSweep => cv_profile_merged(x, y, grid, &self.kernel),
+            BagEngine::PrefixMoments => cv_profile_prefix(x, y, grid, &self.kernel),
         }
     }
 
-    fn run_bag(&self, x: &[f64], y: &[f64], bag: usize) -> Result<(BagOutcome, usize)> {
+    fn run_bag(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        grid: &BandwidthGrid,
+        bag: usize,
+    ) -> Result<(BagOutcome, usize)> {
         let _bag_phase = kcv_obs::phase("cv.bag");
         let (bx, by) = self.bag_sample(x, y, bag);
-        let profile = self.bag_profile(&bx, &by)?;
+        let profile = self.bag_profile(&bx, &by, grid)?;
         let opt = profile.argmin_with_min_included(self.min_included)?;
         kcv_obs::add(kcv_obs::Counter::BagsRun, 1);
         Ok((
@@ -357,6 +366,10 @@ impl<K: PolynomialKernel> BaggedSelector<K> {
         if self.bag_size > n {
             return Err(Error::SampleTooSmall { n, required: self.bag_size });
         }
+        // One grid resolution from the full sample, shared by every bag —
+        // every bag then scores the same candidate bandwidths, so per-bag
+        // profiles are directly comparable.
+        let grid = self.grid.resolve(x)?;
 
         let outcomes: Vec<Result<(BagOutcome, usize)>> = if self.parallel && self.bags > 1 {
             let scope = kcv_obs::scope();
@@ -364,11 +377,11 @@ impl<K: PolynomialKernel> BaggedSelector<K> {
                 .into_par_iter()
                 .map(|b| {
                     let _in_scope = scope.enter();
-                    self.run_bag(x, y, b)
+                    self.run_bag(x, y, &grid, b)
                 })
                 .collect()
         } else {
-            (0..self.bags).map(|b| self.run_bag(x, y, b)).collect()
+            (0..self.bags).map(|b| self.run_bag(x, y, &grid, b)).collect()
         };
 
         let mut bags = Vec::with_capacity(self.bags);
@@ -521,6 +534,27 @@ mod tests {
             let direct = reference.select(&x, &y).unwrap();
             assert_eq!(bagged.bandwidth, direct.bandwidth, "{engine:?}");
             assert_eq!(bagged.score, direct.score, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn bags_score_the_shared_full_sample_grid() {
+        // The grid is resolved once from the full sample: every bag's
+        // selected bandwidth must be bitwise a member of that grid, even
+        // though each subsample spans a narrower domain.
+        let (x, y) = paper_dgp(1_000, 18);
+        let grid = GridSpec::PaperDefault(30).resolve(&x).unwrap();
+        let sel = BaggedSelector::new(Epanechnikov, GridSpec::PaperDefault(30), 6, 250)
+            .with_seed(3)
+            .select_bagged(&x, &y)
+            .unwrap();
+        for bag in &sel.bags {
+            assert!(
+                grid.values().contains(&bag.bandwidth),
+                "bag {} selected {} outside the shared full-sample grid",
+                bag.bag,
+                bag.bandwidth
+            );
         }
     }
 

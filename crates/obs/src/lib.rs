@@ -76,7 +76,7 @@
 //! workers) are the canonical examples. [`Snapshot::to_json`] therefore labels the field
 //! `cpu_seconds`, not `seconds`. The workspace convention: top-level
 //! parallel regions (`cv.sweep`, `cv.merge`, `cv.window`, `cv.naive`,
-//! `gpu.launch`) are timed **once on the calling thread**, so their
+//! `cv.multi`, `gpu.launch`) are timed **once on the calling thread**, so their
 //! `cpu_seconds` approximates wall time; phases opened inside worker
 //! closures accumulate CPU time across workers. Wall-clock per strategy is
 //! reported separately (`wall_seconds` in `BENCH_report.json`).
@@ -140,10 +140,18 @@ pub enum Counter {
     /// workers, so the phase's `cpu_seconds` sums per-bag CPU time and
     /// legitimately exceeds wall-clock (see *Phase-timer semantics*).
     BagsRun = 8,
+    /// Sorted-axis sweeps performed by the multivariate fast-sum-updating
+    /// CV engine (`kcv-core::multi::fast`): one increment per
+    /// `(grid point, dimension)` pair, so a full run adds
+    /// `grid_points × d`. Together with [`Counter::WindowQueries`]
+    /// (`d` per `(observation, grid point)` cell) this carries the fast
+    /// multivariate path's cost while its `KernelEvals` stays zero on the
+    /// d ≤ 2 hot path — the contrast the multivariate perf gates assert.
+    DimSweeps = 9,
 }
 
 /// Number of counters (array sizing).
-const NUM_COUNTERS: usize = 9;
+const NUM_COUNTERS: usize = 10;
 
 impl Counter {
     /// Every counter, in serialisation order.
@@ -157,6 +165,7 @@ impl Counter {
         Counter::WindowQueries,
         Counter::BinarySearchProbes,
         Counter::BagsRun,
+        Counter::DimSweeps,
     ];
 
     /// The snake_case name used in snapshots and JSON.
@@ -171,6 +180,7 @@ impl Counter {
             Counter::WindowQueries => "window_queries",
             Counter::BinarySearchProbes => "binary_search_probes",
             Counter::BagsRun => "bags_run",
+            Counter::DimSweeps => "dim_sweeps",
         }
     }
 }

@@ -1,6 +1,8 @@
 //! Multivariate kernel regression: per-dimension bandwidths over a full
 //! grid ("an evenly-spaced grid or matrix in multivariate contexts", §I)
-//! compared with the scalar-multiplier shortcut.
+//! compared with the scalar-multiplier shortcut. Both selectors run on the
+//! fast-sum-updating engine (`multi::fast`) — zero kernel evaluations for
+//! the d = 2 Epanechnikov grid below.
 //!
 //! Run with: `cargo run --release --example multivariate`
 
@@ -33,7 +35,7 @@ fn main() {
 
     // Full 10×10 bandwidth grid (the §I "matrix").
     let grid: Vec<f64> = (1..=10).map(|i| i as f64 * 0.035).collect();
-    let full = select_full_grid(&columns, &y, &Gaussian, &[grid.clone(), grid.clone()])
+    let full = select_full_grid(&columns, &y, &Epanechnikov, &[grid.clone(), grid.clone()])
         .expect("full grid");
     println!(
         "full-grid search     : h = ({:.3}, {:.3}), CV = {:.5}",
@@ -42,7 +44,7 @@ fn main() {
 
     // Scalar-multiplier shortcut (isotropic rescale of the Silverman base).
     let multipliers: Vec<f64> = (1..=16).map(|i| i as f64 * 0.25).collect();
-    let scalar = select_multiplier_grid(&columns, &y, &Gaussian, &multipliers)
+    let scalar = select_multiplier_grid(&columns, &y, &Epanechnikov, &multipliers)
         .expect("multiplier grid");
     println!(
         "multiplier shortcut  : h = ({:.3}, {:.3}), CV = {:.5}\n",
@@ -59,7 +61,7 @@ fn main() {
     );
 
     // Fit at the full-grid optimum and probe the surface.
-    let fit = MultiNadarayaWatson::new(&columns, &y, Gaussian, full.bandwidths.clone())
+    let fit = MultiNadarayaWatson::new(&columns, &y, Epanechnikov, full.bandwidths.clone())
         .expect("fit");
     println!("probe points (estimate vs truth):");
     for &(a, b) in &[(0.25, 0.25), (0.5, 0.5), (0.75, 0.2), (0.2, 0.8)] {
