@@ -5,10 +5,11 @@
 CARGO ?= cargo
 FLAGS ?= --offline
 
-.PHONY: verify build test test-metrics doc clippy perf-gate multi-smoke bench-report scaling clean
+.PHONY: verify build test test-metrics doc clippy perf-gate multi-smoke bench-report scaling streaming clean
 
 ## The full PR gate: build, tests with metrics off AND on, docs, lints,
-## the counter-based performance gate, and the d = 2 multivariate smoke.
+## the counter-based performance gate (including the streaming replay
+## gates 17-19), and the d = 2 multivariate smoke.
 verify: build test test-metrics doc clippy perf-gate multi-smoke
 	@echo "verify: all gates green"
 
@@ -41,12 +42,17 @@ clippy:
 ## O(k·log n) per observation — and that the bagged selector holds its
 ## n-independence contract: work ≤ bags·bag_size·k window queries with
 ## zero kernel evals (no n term), measured peak host-heap bytes ≤
-## workers × one bag's documented footprint bound — and (schema v5) the
-## multivariate fast-sum-updating contract: the d = 2 multi-fast strategy
+## workers × one bag's documented footprint bound — the multivariate
+## fast-sum-updating contract: the d = 2 multi-fast strategy
 ## evaluates the kernel zero times, keeps its window queries within
 ## grid_points·n·d·ceil(log2 n), and beats the naive product-kernel full
-## grid by ≥ 10× wall time at the identical bandwidth vector
-## (see crates/bench/src/bin/perf_gate.rs).
+## grid by ≥ 10× wall time at the identical bandwidth vector — and
+## (schema v6) the streaming incremental-engine contract: the sliding-
+## window replay's report object is present, its re-selections evaluate
+## the kernel zero times with Fenwick tree updates within
+## (inserts+removes)·ceil(log2 W)·(deg+3), and the replay beats
+## per-arrival recompute-from-scratch by ≥ 10× wall time at the
+## identical final bandwidth (see crates/bench/src/bin/perf_gate.rs).
 perf-gate:
 	$(CARGO) run $(FLAGS) --release -p kcv-bench --features metrics \
 		--bin perf_gate -- --n 2000 --k 100
@@ -60,10 +66,19 @@ multi-smoke:
 ## The past-the-paper scaling study (EXPERIMENTS.md SCALE): bagged CV at
 ## n = 10^5..10^7 vs the full-data prefix reference, with the binary's own
 ## acceptance checks as the gate. Writes results/scaling.csv and a
-## schema-v4 BENCH_report.json with the scaling rows (CI uploads both).
+## schema-v6 BENCH_report.json with the scaling rows (CI uploads both).
 ## Full run (full-data reference up to 10^6) takes ~30 s in release.
 scaling:
 	$(CARGO) run $(FLAGS) --release -p kcv-bench --bin scaling
+
+## The streaming replay study (EXPERIMENTS.md STREAM): 10^5 paper-DGP
+## arrivals through the sliding-window incremental engine (W = 10^4) at a
+## sweep of re-selection cadences, against the sampled-and-extrapolated
+## per-arrival recompute baseline. The binary's own checks (>= 10x at
+## every cadence >= 64, bit-identical final bandwidth) gate the run;
+## writes results/streaming.csv (CI uploads it). Takes ~60 s in release.
+streaming:
+	$(CARGO) run $(FLAGS) --release -p kcv-bench --bin streaming
 
 ## Regenerate results/BENCH_report.json with live counters (small n).
 bench-report:

@@ -66,6 +66,7 @@ fn main() {
                 Program::WindowedGpu => 7.0,
                 Program::Bagged => 8.0,
                 Program::MultiFast => 9.0,
+                Program::Streaming => 10.0,
             },
             r.wall_seconds,
             r.simulated_seconds.unwrap_or(f64::NAN),

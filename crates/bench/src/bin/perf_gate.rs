@@ -55,7 +55,18 @@
 //!     budget; a per-neighbour product scan is `Θ(n)` per cell and fails;
 //! 16. at `n ≥ 2,000` `multi-fast` beats `multi-naive` by ≥ 10× wall time
 //!     while selecting the bit-identical bandwidth **vector** (the
-//!     serialised `bandwidths` arrays compare equal).
+//!     serialised `bandwidths` arrays compare equal);
+//! 17. the schema-v6 top-level `streaming` object is present — the two
+//!     replay gates below read it, so a writer that stops measuring the
+//!     streaming engine must fail here, not pass by absence;
+//! 18. the streaming replay never evaluates the kernel and its Fenwick
+//!     tree updates stay within `(inserts + removes) · ceil(log2 W) ·
+//!     (deg + 3)` — every re-selection is answered from the
+//!     order-statistic moment tree (`O(log W)` node-blocks per update),
+//!     never a neighbour visit;
+//! 19. the streaming replay beats the per-arrival recompute-from-scratch
+//!     policy by ≥ 10× wall time while selecting the identical bandwidth
+//!     on the final window (the serialised values compare equal).
 //!
 //! Exits non-zero if any gate fails, printing each gate's verdict and then
 //! naming the failures, so `make verify` and CI fail if a regression
@@ -305,6 +316,54 @@ fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
         ));
     }
 
+    // --- streaming incremental-engine contracts (this PR) ----------------
+    // The replay measurements live in the schema-v6 top-level `streaming`
+    // object, which is the report's final entry, so a slice from its key
+    // to the end of the document contains exactly its fields.
+    let streaming = match json.find("\"streaming\":{") {
+        Some(i) => &json[i..],
+        None => {
+            gates.push(Gate::pass_if(
+                "report carries the schema-v6 streaming object",
+                false,
+                "no streaming object in the report".into(),
+            ));
+            return gates;
+        }
+    };
+    gates.push(Gate::pass_if(
+        "report carries the schema-v6 streaming object",
+        true,
+        "streaming replay measured".into(),
+    ));
+
+    let st = |key: &str| u64_field(streaming, key).unwrap_or(0);
+    let window = st("window");
+    let updates = st("tree_updates");
+    let st_evals = st("kernel_evals");
+    let reselects = st("reselects");
+    let log2w = (window.max(2) as f64).log2().ceil() as u64;
+    let update_ceiling = (st("inserts") + st("removes")) * log2w * (deg + 3);
+    gates.push(Gate::pass_if(
+        "streaming replay: zero kernel evals, tree updates O(log W)",
+        st_evals == 0 && reselects > 0 && updates > 0 && updates <= update_ceiling,
+        format!(
+            "kernel_evals {st_evals} == 0, reselects {reselects} > 0, \
+             0 < tree_updates {updates} <= (ins+rem)*ceil(log2 W)*(deg+3) = {update_ceiling}"
+        ),
+    ));
+
+    let st_wall = f64_field(streaming, "wall_seconds").unwrap_or(f64::NAN);
+    let st_recompute = f64_field(streaming, "recompute_wall_seconds").unwrap_or(f64::NAN);
+    let st_ratio = st_recompute / st_wall;
+    let fb = f64_field(streaming, "final_bandwidth");
+    let rb = f64_field(streaming, "recompute_bandwidth");
+    gates.push(Gate::pass_if(
+        "streaming replay beats per-arrival recompute >= 10x, identical bandwidth",
+        st_ratio >= 10.0 && fb.is_some() && fb == rb,
+        format!("wall ratio {st_ratio:.1} >= 10, final {fb:?} == recompute {rb:?}"),
+    ));
+
     gates
 }
 
@@ -371,7 +430,7 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "{\"version\":5,\"metrics_enabled\":true,\"strategies\":[\
+    const SAMPLE: &str = "{\"version\":6,\"metrics_enabled\":true,\"strategies\":[\
         {\"name\":\"sorted\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
         \"kernel_evals\":90,\"sort_comparisons\":400000}}},\
         {\"name\":\"merged\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
@@ -394,7 +453,12 @@ mod tests {
         {\"name\":\"multi-fast\",\"bandwidth\":0.125000,\
         \"wall_seconds\":0.050000000,\"multi\":{\"dims\":2,\"grid_points\":100,\
         \"bandwidths\":[0.125000,0.250000]},\"obs\":{\"counters\":{\
-        \"kernel_evals\":0,\"dim_sweeps\":200,\"window_queries\":400000}}}]}";
+        \"kernel_evals\":0,\"dim_sweeps\":200,\"window_queries\":400000}}}],\
+        \"streaming\":{\"arrivals\":2000,\"window\":500,\"cadence\":64,\
+        \"inserts\":2000,\"removes\":1500,\"reselects\":32,\
+        \"tree_updates\":104000,\"kernel_evals\":0,\
+        \"final_bandwidth\":0.052341000000,\"recompute_bandwidth\":0.052341000000,\
+        \"wall_seconds\":0.011000000,\"recompute_wall_seconds\":0.420000000}}";
 
     #[test]
     fn strategy_slice_isolates_one_entry() {
@@ -432,9 +496,11 @@ mod tests {
         // Bagged (B = 10, r = 500): work ceiling 500,000 queries; memory
         // ceiling 8 × (256·500 + 64·100 + 65,536) = 1,599,488 bytes.
         // Multi-fast (g = 100, d = 2): query ceiling 100·2,000·2·11 =
-        // 4,400,000; wall ratio 1.5/0.05 = 30×.
+        // 4,400,000; wall ratio 1.5/0.05 = 30×. Streaming (W = 500):
+        // update ceiling (2,000 + 1,500)·9·5 = 157,500; wall ratio
+        // 0.42/0.011 = 38×.
         let gates = evaluate_gates(SAMPLE, 2_000, 100);
-        assert_eq!(gates.len(), 16);
+        assert_eq!(gates.len(), 19);
         assert!(gates.iter().all(|g| g.ok == Some(true)), "{:?}", fails(&gates));
     }
 
@@ -565,7 +631,7 @@ mod tests {
 
     #[test]
     fn version_gate_catches_a_stale_writer() {
-        let bad = SAMPLE.replace("\"version\":5", "\"version\":4");
+        let bad = SAMPLE.replace("\"version\":6", "\"version\":5");
         let gates = evaluate_gates(&bad, 2_000, 100);
         assert_eq!(fails(&gates), vec!["report schema version matches the gate's"]);
     }
@@ -645,6 +711,66 @@ mod tests {
         let failed = fails(&gates);
         assert!(failed.contains(&"merged sort comparisons stay O(n log n)"));
         assert!(failed.contains(&"sorted sweep sorts >= 100x more than merged"));
+    }
+
+    #[test]
+    fn streaming_gate_catches_a_missing_object() {
+        // A writer that stops measuring the replay (pre-v6 tail) must fail
+        // gate 17 explicitly, not let gates 18–19 pass by absence.
+        let end = SAMPLE.find(",\"streaming\":{").unwrap();
+        let bad = format!("{}}}", &SAMPLE[..end]);
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(fails(&gates), vec!["report carries the schema-v6 streaming object"]);
+    }
+
+    #[test]
+    fn streaming_update_gate_catches_a_kernel_evaluating_replay() {
+        let bad = SAMPLE.replace(
+            "\"kernel_evals\":0,\"final_bandwidth\"",
+            "\"kernel_evals\":7,\"final_bandwidth\"",
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["streaming replay: zero kernel evals, tree updates O(log W)"]
+        );
+    }
+
+    #[test]
+    fn streaming_update_gate_catches_an_over_budget_tree() {
+        // One rebuild per arrival (or per-moment-slot counting) lands far
+        // above the (ins+rem)·ceil(log2 W)·(deg+3) = 157,500 ceiling.
+        let bad = SAMPLE.replace("\"tree_updates\":104000", "\"tree_updates\":1000000");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["streaming replay: zero kernel evals, tree updates O(log W)"]
+        );
+    }
+
+    #[test]
+    fn streaming_speedup_gate_catches_a_slow_replay() {
+        // Ratio 0.42/0.2 = 2.1× is far under the required 10×.
+        let bad =
+            SAMPLE.replace("\"wall_seconds\":0.011000000", "\"wall_seconds\":0.200000000");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["streaming replay beats per-arrival recompute >= 10x, identical bandwidth"]
+        );
+    }
+
+    #[test]
+    fn streaming_speedup_gate_catches_a_bandwidth_divergence() {
+        let bad = SAMPLE.replace(
+            "\"recompute_bandwidth\":0.052341000000",
+            "\"recompute_bandwidth\":0.052999000000",
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["streaming replay beats per-arrival recompute >= 10x, identical bandwidth"]
+        );
     }
 
     #[test]

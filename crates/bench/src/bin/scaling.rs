@@ -9,16 +9,18 @@
 //! the full-data prefix strategy for comparison, measuring wall time, the
 //! counting allocator's host-heap peak delta, and the selected bandwidth.
 //!
-//! ## Why the full-data runs use a log-spaced grid
+//! ## Why every run uses a log-spaced grid
 //!
 //! The CV-optimal bandwidth shrinks like `n^{−1/5}`, so it lives on a log
 //! scale; the paper-default *linear* grid (`domain/k` steps up from a
 //! `domain/k` floor) either clamps the full-data argmin at its own floor
 //! (measured: exactly 0.010000 at both 10⁵ and 10⁶ with k = 100 — the
 //! bagged answer correctly rescales *below* the floor) or quantises it to
-//! a step as coarse as the optimum itself. The full runs here therefore
-//! sweep a k-point log grid spanning `domain·[10⁻³, 0.3]`, which keeps the
-//! optimum interior at every study size.
+//! a step as coarse as the optimum itself. Both the full runs and the
+//! bagged selector's in-bag search therefore sweep a k-point log grid
+//! spanning `domain·[10⁻³, 0.3]` (the bags share the full sample's
+//! domain), which keeps the optimum interior at every study size — a
+//! regression test below pins the unclamped n = 10⁶ minimizer.
 //!
 //! ## The documented tolerance (acceptance check 2)
 //!
@@ -38,7 +40,7 @@
 //! Outputs:
 //!
 //! * `results/scaling.csv` — the raw table (CI uploads this artifact);
-//! * `results/BENCH_report.json` — a schema-v4 report collected at the
+//! * `results/BENCH_report.json` — a schema-v6 report collected at the
 //!   perf-gate point with the `scaling` array populated;
 //! * stdout — the rendered table plus the two acceptance checks:
 //!   1. the bagged selection at the *largest* n finishes in under the
@@ -87,9 +89,26 @@ fn main() -> ExitCode {
         eprintln!("scaling: n = {n}: sampling paper DGP…");
         let s = PaperDgp.sample(n, 42);
 
+        // One k-point log grid over the full sample's domain, shared by the
+        // bagged in-bag search and the full-data run: the optimum h ~
+        // n^{−1/5} lives on a log scale (see the module docs for the
+        // measured linear-grid floor clamp this replaces). Bag subsamples
+        // deliberately inherit the full sample's domain so every bag
+        // searches the same candidates.
+        let (lo, hi) =
+            s.x.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let domain = hi - lo;
+        let grid = match BandwidthGrid::log(domain * 1e-3, domain * 0.3, k) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("scaling: log grid failed at n = {n}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
         eprintln!("scaling: n = {n}: bagged selection (B = {bags}, r = {bag_size})…");
         let selector =
-            BaggedSelector::new(Epanechnikov, GridSpec::PaperDefault(k), bags, bag_size)
+            BaggedSelector::new(Epanechnikov, GridSpec::Explicit(grid.clone()), bags, bag_size)
                 .with_seed(42);
         alloc_track::reset_peak();
         let baseline = alloc_track::current_bytes();
@@ -105,20 +124,6 @@ fn main() -> ExitCode {
         let bagged_host_bytes_peak = alloc_track::peak_bytes().saturating_sub(baseline);
 
         let full = if n <= full_max_n {
-            // k-point log grid over domain·[1e-3, 0.3]: the optimum h ~
-            // n^{−1/5} lives on a log scale (see the module docs for the
-            // measured linear-grid floor clamp this replaces).
-            let (lo, hi) = s.x.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| {
-                (l.min(v), h.max(v))
-            });
-            let domain = hi - lo;
-            let grid = match BandwidthGrid::log(domain * 1e-3, domain * 0.3, k) {
-                Ok(g) => g,
-                Err(e) => {
-                    eprintln!("scaling: log grid failed at n = {n}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
             let (grid_min, grid_max) = (grid.min(), grid.max());
             eprintln!("scaling: n = {n}: full-data prefix selection (log grid, k = {k})…");
             alloc_track::reset_peak();
@@ -236,7 +241,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    eprintln!("scaling: collecting schema-v4 report at the perf-gate point…");
+    eprintln!("scaling: collecting schema-v6 report at the perf-gate point…");
     let mut report = match collect_report(ReportConfig { n: 2_000, k: 100, seed: 42 }) {
         Ok(r) => r,
         Err(e) => {
@@ -331,5 +336,40 @@ fn main() -> ExitCode {
     } else {
         println!("scaling: acceptance check(s) failed");
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ISSUE 9 regression for the grid-default fix: at n = 10⁶ the study's
+    /// log grid must leave the full-data CV minimizer *interior*, strictly
+    /// below the linear paper-default grid's `domain/k` floor — the floor
+    /// the PR 7 measurement showed the linear grid clamping to (exactly
+    /// 0.010000 at k = 100). A smaller k keeps the test affordable; the
+    /// log spacing is identical.
+    #[test]
+    fn log_grid_leaves_the_million_point_minimizer_unclamped() {
+        let s = PaperDgp.sample(1_000_000, 42);
+        let (lo, hi) =
+            s.x.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let domain = hi - lo;
+        let grid = BandwidthGrid::log(domain * 1e-3, domain * 0.3, 10).unwrap();
+        let (grid_min, grid_max) = (grid.min(), grid.max());
+        let profile =
+            kcv_core::cv::cv_profile_prefix_par(&s.x, &s.y, &grid, &Epanechnikov).unwrap();
+        let opt = profile.argmin().unwrap();
+        assert!(
+            opt.bandwidth > grid_min && opt.bandwidth < grid_max,
+            "argmin {} clamped to a grid edge [{grid_min}, {grid_max}]",
+            opt.bandwidth
+        );
+        assert!(
+            opt.bandwidth < domain / 100.0,
+            "argmin {} is not below the linear k = 100 floor {}",
+            opt.bandwidth,
+            domain / 100.0
+        );
     }
 }

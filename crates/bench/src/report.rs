@@ -13,7 +13,7 @@
 //! snapshots are per-run deltas by construction — immune to any other
 //! instrumented code running concurrently in the process.
 //!
-//! ## Schema (version 5)
+//! ## Schema (version 6)
 //!
 //! Version 2 renamed the per-phase `seconds` field to `cpu_seconds`:
 //! overlapping same-name phase scopes on different rayon workers sum to CPU
@@ -57,9 +57,36 @@
 //!   zero-eval and window-query contracts and its ≥ 10× wall-time win
 //!   over `multi-naive` at gate scale.
 //!
+//! Version 6 adds the streaming replay and the chunk-hook observability:
+//!
+//! * the top-level `streaming` object (after `scaling`): a sliding-window
+//!   replay of the report's own paper-DGP sample through
+//!   `kcv_core::cv::SlidingWindowSelector` (window `max(n/4, 64)`,
+//!   re-selection cadence 64 arrivals, the same `k`-point **log-spaced**
+//!   grid the scaling study's full runs use). `wall_seconds` is the whole
+//!   replay including every cadence-triggered re-selection plus one forced
+//!   final `reselect`; `recompute_wall_seconds` is the extrapolated cost of
+//!   the recompute-from-scratch policy (a fresh prefix profile on the live
+//!   window at *every* arrival) — timing all `n` recomputes would dwarf
+//!   the report, so the baseline is **sampled at the replay's re-selection
+//!   points and the final window** and scaled to per-arrival cost. The
+//!   streaming perf gates pin `kernel_evals == 0`, the
+//!   `tree_updates ≤ (inserts+removes)·⌈log₂ window⌉·(deg+3)` budget, the
+//!   ≥ 10× wall-time win over the recompute baseline, and
+//!   `final_bandwidth == recompute_bandwidth` (serialised form);
+//! * the `scope_enters` counter in every `obs.counters` object: recorder
+//!   scope re-entries inside worker closures. The vendored rayon's
+//!   `fold_with_setup` chunk hook makes each parallel strategy pay one
+//!   entry per worker *chunk* (at most `available_parallelism`) instead of
+//!   one per observation, so a parallel strategy's count is now orders of
+//!   magnitude below its observation count while its sequential twin stays
+//!   at zero — the per-chunk-vs-per-observation delta is directly visible
+//!   in the report, with the per-item counter attribution (`kernel_evals`,
+//!   `window_queries`, …) unchanged.
+//!
 //! ```json
 //! {
-//!   "version": 5,
+//!   "version": 6,
 //!   "metrics_enabled": true,
 //!   "config": {"n": 1000, "k": 50, "seed": 42, "kernel": "epanechnikov"},
 //!   "strategies": [
@@ -100,7 +127,14 @@
 //!      "bagged_bandwidth": 0.0021, "full_wall_seconds": null,
 //!      "full_host_bytes_peak": null, "full_bandwidth": null,
 //!      "full_score": null, "bagged_regret": null}
-//!   ]
+//!   ],
+//!   "streaming": {
+//!     "arrivals": 2000, "window": 500, "cadence": 64,
+//!     "inserts": 2000, "removes": 1500, "reselects": 32,
+//!     "tree_updates": 104000, "kernel_evals": 0,
+//!     "final_bandwidth": 0.052341, "recompute_bandwidth": 0.052341,
+//!     "wall_seconds": 0.011, "recompute_wall_seconds": 0.420
+//!   }
 //! }
 //! ```
 
@@ -128,7 +162,10 @@ use std::time::Instant;
 /// Version 5: added the `multi-naive`/`multi-fast` strategies (the `d = 2`
 /// full-grid selectors) and the per-strategy nested `multi` object
 /// (`dims`/`grid_points`/`bandwidths`, `null` on univariate strategies).
-pub const REPORT_VERSION: u32 = 5;
+/// Version 6: added the top-level `streaming` object (the sliding-window
+/// replay the streaming perf gates read) and the `scope_enters` counter
+/// (the chunk-hook scope-entry delta; see the module-level schema notes).
+pub const REPORT_VERSION: u32 = 6;
 
 /// The strategies a report covers, in emission order.
 pub const STRATEGIES: [&str; 12] = [
@@ -230,6 +267,48 @@ pub struct ScalingRow {
     pub bagged_regret: Option<f64>,
 }
 
+/// The streaming replay's settings and measurements (schema v6): one
+/// sliding-window pass of the report's paper-DGP sample through the
+/// incremental Fenwick engine, next to the sampled-and-extrapolated
+/// recompute-from-scratch baseline (see the module-level schema notes for
+/// the sampling policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingInfo {
+    /// Observations replayed through the sliding window (the report's `n`).
+    pub arrivals: usize,
+    /// Window capacity `W` (`max(n/4, 64)`, capped at `n`).
+    pub window: usize,
+    /// Re-selection cadence in arrivals.
+    pub cadence: usize,
+    /// `insert` operations applied to the moment tree (= arrivals).
+    pub inserts: u64,
+    /// `remove` operations applied (evictions: `arrivals − window` once the
+    /// window fills).
+    pub removes: u64,
+    /// Completed `reselect()` passes (cadence-triggered plus the forced
+    /// final one), from the `reselects` counter.
+    pub reselects: u64,
+    /// Fenwick node visits, from the `tree_updates` counter. Perf gate 18
+    /// holds this under `(inserts+removes)·⌈log₂ window⌉·(deg+3)`.
+    pub tree_updates: u64,
+    /// Kernel evaluations spent by the whole replay — pinned to zero by
+    /// perf gate 18.
+    pub kernel_evals: u64,
+    /// The bandwidth selected by the forced final `reselect` on the full
+    /// window.
+    pub final_bandwidth: f64,
+    /// The bandwidth a fresh prefix run selects on the identical final
+    /// window — perf gate 19 pins it equal to
+    /// [`StreamingInfo::final_bandwidth`].
+    pub recompute_bandwidth: f64,
+    /// Wall-clock seconds for the whole replay (pushes + re-selections).
+    pub wall_seconds: f64,
+    /// Extrapolated wall-clock seconds of the recompute-at-every-arrival
+    /// prefix baseline (sampled at the re-selection points; perf gate 19
+    /// requires ≥ 10× [`StreamingInfo::wall_seconds`]).
+    pub recompute_wall_seconds: f64,
+}
+
 /// One strategy's measurement: selection outcome, wall time, and the
 /// observability snapshot delta for exactly that run.
 #[derive(Debug, Clone)]
@@ -266,6 +345,9 @@ pub struct PerfReport {
     /// Past-the-paper scaling rows; empty except in reports written by the
     /// `scaling` binary.
     pub scaling: Vec<ScalingRow>,
+    /// The streaming replay measurement (always collected by
+    /// [`collect_report`]; `None` only in hand-built reports).
+    pub streaming: Option<StreamingInfo>,
 }
 
 impl PerfReport {
@@ -354,9 +436,107 @@ impl PerfReport {
                 r.bagged_bandwidth,
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"streaming\":");
+        match &self.streaming {
+            None => out.push_str("null"),
+            Some(st) => out.push_str(&format!(
+                "{{\"arrivals\":{},\"window\":{},\"cadence\":{},\"inserts\":{},\
+                 \"removes\":{},\"reselects\":{},\"tree_updates\":{},\
+                 \"kernel_evals\":{},\"final_bandwidth\":{:.12},\
+                 \"recompute_bandwidth\":{:.12},\"wall_seconds\":{:.9},\
+                 \"recompute_wall_seconds\":{:.9}}}",
+                st.arrivals,
+                st.window,
+                st.cadence,
+                st.inserts,
+                st.removes,
+                st.reselects,
+                st.tree_updates,
+                st.kernel_evals,
+                st.final_bandwidth,
+                st.recompute_bandwidth,
+                st.wall_seconds,
+                st.recompute_wall_seconds,
+            )),
+        }
+        out.push('}');
         out
     }
+}
+
+/// Replays the report's sample as a stream through the sliding-window
+/// incremental engine and measures it against the sampled
+/// recompute-from-scratch prefix baseline (schema v6 `streaming` object).
+///
+/// The window is `max(n/4, 64)` (capped at `n`) and the re-selection
+/// cadence is 64 arrivals: one incremental `reselect` costs a small
+/// constant factor more than a fresh prefix profile on the same window
+/// (the Fenwick log-factor per cell), so the amortised win over the
+/// recompute-every-arrival policy is roughly `cadence / that factor` —
+/// comfortably past perf gate 19's 10× at cadence 64.
+fn measure_streaming(x: &[f64], y: &[f64], k: usize) -> Result<StreamingInfo, String> {
+    use kcv_core::cv::SlidingWindowSelector;
+    let n = x.len();
+    let window = (n / 4).max(64).min(n);
+    let cadence = 64usize;
+    // The same log-spaced grid policy as the scaling study's full-data
+    // runs: the optimum lives on a log scale, and the paper-default
+    // *linear* grid would clamp it at the `domain/k` floor for large
+    // windows (the PR 7 measurement the scaling binary documents).
+    let (lo, hi) = x
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+    let domain = hi - lo;
+    let grid =
+        BandwidthGrid::log(domain * 1e-3, domain * 0.3, k).map_err(|e| e.to_string())?;
+
+    let recorder = kcv_obs::Recorder::new();
+    let scope = recorder.install();
+    let mut sel = SlidingWindowSelector::new(Epanechnikov, grid.clone(), window, cadence);
+    let start = Instant::now();
+    for (&xi, &yi) in x.iter().zip(y) {
+        sel.push(xi, yi).map_err(|e| e.to_string())?;
+    }
+    // Force a final re-selection so the final-bandwidth comparison below
+    // runs on the identical window regardless of where the cadence landed.
+    let final_opt = sel.reselect_now().map_err(|e| e.to_string())?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    drop(scope);
+    let snap = recorder.snapshot();
+
+    // Recompute-from-scratch baseline, sampled at the replay's own
+    // re-selection points (every `cadence` arrivals, plus the final
+    // window) and extrapolated to the per-arrival policy's cost.
+    let mut points: Vec<usize> = (1..=n).filter(|&t| t % cadence == 0).collect();
+    if points.last() != Some(&n) {
+        points.push(n);
+    }
+    let mut last = None;
+    let rc_start = Instant::now();
+    for &t in &points {
+        let w = window.min(t);
+        let p = cv_profile_prefix(&x[t - w..t], &y[t - w..t], &grid, &Epanechnikov)
+            .map_err(|e| e.to_string())?;
+        last = Some(p.argmin().map_err(|e| e.to_string())?);
+    }
+    let sampled_seconds = rc_start.elapsed().as_secs_f64();
+    let recompute_wall_seconds = sampled_seconds / points.len() as f64 * n as f64;
+    let recompute = last.expect("at least the final window was recomputed");
+
+    Ok(StreamingInfo {
+        arrivals: n,
+        window,
+        cadence,
+        inserts: n as u64,
+        removes: (n - window) as u64,
+        reselects: snap.counter("reselects"),
+        tree_updates: snap.counter("tree_updates"),
+        kernel_evals: snap.counter("kernel_evals"),
+        final_bandwidth: final_opt.bandwidth,
+        recompute_bandwidth: recompute.bandwidth,
+        wall_seconds,
+        recompute_wall_seconds,
+    })
 }
 
 /// Runs every strategy in [`STRATEGIES`] at one `(n, k)` point on the paper
@@ -512,7 +692,8 @@ pub fn collect_report(config: ReportConfig) -> Result<PerfReport, String> {
             obs: recorder.snapshot(),
         });
     }
-    Ok(PerfReport { config, strategies, scaling: Vec::new() })
+    let streaming = Some(measure_streaming(&s.x, &s.y, config.k)?);
+    Ok(PerfReport { config, strategies, scaling: Vec::new(), streaming })
 }
 
 #[cfg(test)]
@@ -561,8 +742,22 @@ mod tests {
         assert_eq!(mnaive.bandwidth, ni.bandwidths[0]);
         assert!(report.strategies.iter().filter(|s| s.multi.is_some()).count() == 2);
 
+        // The streaming replay: n = 120 arrivals into a window of
+        // max(n/4, 64) = 64, so 56 evictions, and the final incremental
+        // selection lands on the same grid value as the fresh prefix
+        // recompute over the identical final window.
+        let st = report.streaming.as_ref().unwrap();
+        assert_eq!(st.arrivals, 120);
+        assert_eq!(st.window, 64);
+        assert_eq!(st.cadence, 64);
+        assert_eq!(st.inserts, 120);
+        assert_eq!(st.removes, 56);
+        assert!(st.wall_seconds >= 0.0);
+        assert!(st.recompute_wall_seconds > 0.0);
+        assert_eq!(st.final_bandwidth.to_bits(), st.recompute_bandwidth.to_bits());
+
         let json = report.to_json();
-        assert!(json.starts_with("{\"version\":5,"));
+        assert!(json.starts_with("{\"version\":6,"));
         for name in STRATEGIES {
             assert!(json.contains(&format!("\"name\":\"{name}\"")), "{json}");
         }
@@ -572,10 +767,14 @@ mod tests {
         assert!(json.contains("\"bagged\":{\"bags\":10,"));
         assert!(json.contains("\"multi\":null"));
         assert!(json.contains("\"multi\":{\"dims\":2,\"grid_points\":9,\"bandwidths\":["));
-        assert!(json.ends_with(",\"scaling\":[]}"));
+        assert!(json.contains(
+            ",\"scaling\":[],\"streaming\":{\"arrivals\":120,\"window\":64,\"cadence\":64,\
+             \"inserts\":120,\"removes\":56,"
+        ));
+        assert!(json.ends_with("}}"));
     }
 
-    /// Schema v4 round-trip: every field written by `to_json` must be
+    /// Schema v6 round-trip: every field written by `to_json` must be
     /// readable back through the shared `json` helpers, so a future version
     /// bump that drops or renames a field fails here instead of silently
     /// producing reports the gate half-reads (ISSUE 7's bugfix satellite).
@@ -661,6 +860,20 @@ mod tests {
                     bagged_regret: Some(0.000019),
                 },
             ],
+            streaming: Some(StreamingInfo {
+                arrivals: 2_000,
+                window: 500,
+                cadence: 64,
+                inserts: 2_000,
+                removes: 1_500,
+                reselects: 32,
+                tree_updates: 104_000,
+                kernel_evals: 0,
+                final_bandwidth: 0.052341,
+                recompute_bandwidth: 0.052341,
+                wall_seconds: 0.011,
+                recompute_wall_seconds: 0.42,
+            }),
         };
         let json = report.to_json();
 
@@ -688,8 +901,11 @@ mod tests {
         );
         assert!(mfast.contains("\"bagged\":null"));
 
+        // Bound the scaling slice at the streaming object so the row
+        // lookups below cannot leak into it.
         let scaling_start = json.find("\"scaling\":[").unwrap();
-        let scaling = &json[scaling_start..];
+        let streaming_start = json.find("\"streaming\":").unwrap();
+        let scaling = &json[scaling_start..streaming_start];
         let second_row = &scaling[scaling.rfind('{').unwrap()..];
         assert_eq!(u64_field(scaling, "n"), Some(10_000_000));
         assert_eq!(f64_field(scaling, "bagged_bandwidth"), Some(0.0021));
@@ -702,6 +918,20 @@ mod tests {
         assert_eq!(f64_field(second_row, "bagged_regret"), Some(0.000019));
         assert!(scaling.contains("\"full_score\":null"));
         assert!(scaling.contains("\"bagged_regret\":null"));
+
+        let streaming = &json[streaming_start..];
+        assert_eq!(u64_field(streaming, "arrivals"), Some(2_000));
+        assert_eq!(u64_field(streaming, "window"), Some(500));
+        assert_eq!(u64_field(streaming, "cadence"), Some(64));
+        assert_eq!(u64_field(streaming, "inserts"), Some(2_000));
+        assert_eq!(u64_field(streaming, "removes"), Some(1_500));
+        assert_eq!(u64_field(streaming, "reselects"), Some(32));
+        assert_eq!(u64_field(streaming, "tree_updates"), Some(104_000));
+        assert_eq!(u64_field(streaming, "kernel_evals"), Some(0));
+        assert_eq!(f64_field(streaming, "final_bandwidth"), Some(0.052341));
+        assert_eq!(f64_field(streaming, "recompute_bandwidth"), Some(0.052341));
+        assert_eq!(f64_field(streaming, "wall_seconds"), Some(0.011));
+        assert_eq!(f64_field(streaming, "recompute_wall_seconds"), Some(0.42));
     }
 
     #[cfg(feature = "metrics")]
@@ -779,5 +1009,43 @@ mod tests {
             "windowed traffic {} exceeds the per-cell bound",
             windowed.counter("mem_transactions")
         );
+        // The rayon chunk hook enters the kcv_obs scope once per worker
+        // chunk — at most one per available worker — while the sequential
+        // twins never touch it. Per-item attribution is unchanged: the
+        // parallel sweep still records exactly the sequential sweep's
+        // kernel evaluations.
+        let workers = std::thread::available_parallelism().map_or(1, |w| w.get()) as u64;
+        for seq in ["naive", "sorted", "merged", "prefix"] {
+            assert_eq!(by_name(seq).counter("scope_enters"), 0, "{seq}");
+        }
+        for par in ["parallel", "merged-par", "prefix-par"] {
+            let enters = by_name(par).counter("scope_enters");
+            assert!(
+                (1..=workers.min(n)).contains(&enters),
+                "{par}: {enters} scope entries for {workers} workers"
+            );
+        }
+        assert_eq!(
+            by_name("parallel").counter("kernel_evals"),
+            sorted.counter("kernel_evals")
+        );
+        // Schema v6 streaming replay, measured under its own recorder:
+        // with n = 60 < the 64-observation window floor the window covers
+        // the whole stream (no evictions), the 64-arrival cadence never
+        // fires before the forced final pass, and the incremental engine
+        // answers the grid with zero kernel evaluations inside the
+        // gate-18 tree-update budget.
+        let st = report.streaming.as_ref().unwrap();
+        assert_eq!(st.window, 60);
+        assert_eq!(st.removes, 0);
+        assert_eq!(st.reselects, 1);
+        assert_eq!(st.kernel_evals, 0);
+        let log2w = (64 - (st.window as u64 - 1).leading_zeros()) as u64;
+        assert!(
+            st.tree_updates <= (st.inserts + st.removes) * log2w * 5,
+            "tree_updates {} exceeds the update budget",
+            st.tree_updates
+        );
+        assert_eq!(st.final_bandwidth.to_bits(), st.recompute_bandwidth.to_bits());
     }
 }

@@ -238,19 +238,19 @@ pub fn cv_profile_merged_par<K: PolynomialKernel + ?Sized>(
     let (xs, ys) = (xs.as_slice(), ys.as_slice());
 
     let _merge = kcv_obs::phase("cv.merge");
-    // Re-install the caller's recorder scope on every worker (scope stacks
-    // are thread-local) so counts attribute to the run that spawned us.
+    // Re-install the caller's recorder scope once per worker chunk (scope
+    // stacks are thread-local) so counts attribute to the run that spawned us.
     let scope = kcv_obs::scope();
     let (sq_sums, included) = (0..n)
         .into_par_iter()
-        .fold(
+        .fold_with_setup(
+            || scope.enter(),
             || Acc {
                 sq_sums: vec![0.0; k],
                 included: vec![0usize; k],
                 scratch: MergeScratch::new(deg),
             },
             |mut acc, si| {
-                let _in_scope = scope.enter();
                 accumulate_observation_merged(
                     si,
                     xs,

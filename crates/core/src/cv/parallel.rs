@@ -67,14 +67,16 @@ pub fn cv_profile_sorted_par<K: PolynomialKernel + ?Sized>(
 
     let _sweep = kcv_obs::phase("cv.sweep");
     // Scope stacks are thread-local; re-install the caller's recorder scope
-    // on every worker so counts attribute to the run that spawned us.
+    // on every worker. The chunk hook holds the guard for a worker's whole
+    // chunk, so the two thread-local ops + `Arc` clone are paid once per
+    // chunk instead of once per observation.
     let scope = kcv_obs::scope();
     let (sq_sums, included) = (0..n)
         .into_par_iter()
-        .fold(
+        .fold_with_setup(
+            || scope.enter(),
             || Acc::new(k, n, deg),
             |mut acc, i| {
-                let _in_scope = scope.enter();
                 accumulate_observation(
                     i,
                     x,
@@ -112,10 +114,10 @@ pub fn cv_profile_naive_par<K: Kernel + ?Sized>(
     let scope = kcv_obs::scope();
     let (sq_sums, included) = (0..n)
         .into_par_iter()
-        .fold(
+        .fold_with_setup(
+            || scope.enter(),
             || (vec![0.0; k], vec![0usize; k]),
             |(mut sq, mut inc), i| {
-                let _in_scope = scope.enter();
                 let xi = x[i];
                 let yi = y[i];
                 let mut evals = kcv_obs::LocalCounter::new(kcv_obs::Counter::KernelEvals);

@@ -463,15 +463,15 @@ pub fn cv_profile_prefix_par<K: PolynomialKernel + ?Sized>(
     let tables = &tables;
 
     let _window = kcv_obs::phase("cv.window");
-    // Re-install the caller's recorder scope on every worker (scope stacks
-    // are thread-local) so counts attribute to the run that spawned us.
+    // Re-install the caller's recorder scope once per worker chunk (scope
+    // stacks are thread-local) so counts attribute to the run that spawned us.
     let scope = kcv_obs::scope();
     let (sq_sums, included) = (0..n)
         .into_par_iter()
-        .fold(
+        .fold_with_setup(
+            || scope.enter(),
             || (vec![0.0; k], vec![0usize; k], PrefixScratch::new(deg)),
             |(mut sq, mut inc, mut scratch), si| {
-                let _in_scope = scope.enter();
                 accumulate_observation_prefix(
                     si, tables, coeffs, radius, hs, &mut scratch, &mut sq, &mut inc,
                 );
@@ -539,10 +539,10 @@ pub fn cv_profile_prefix_ll_par<K: PolynomialKernel + ?Sized>(
     let scope = kcv_obs::scope();
     let (sq_sums, included) = (0..n)
         .into_par_iter()
-        .fold(
+        .fold_with_setup(
+            || scope.enter(),
             || (vec![0.0; k], vec![0usize; k], PrefixScratch::new(deg + 2)),
             |(mut sq, mut inc, mut scratch), si| {
-                let _in_scope = scope.enter();
                 accumulate_observation_prefix_ll(
                     si, tables, coeffs, radius, hs, &mut scratch, &mut sq, &mut inc,
                 );

@@ -237,15 +237,15 @@ pub fn cv_profile_sorted_ll_par<K: PolynomialKernel + ?Sized>(
     let radius = kernel.radius();
     let k = grid.len();
     let hs = grid.values();
-    // Re-install the caller's recorder scope on every worker (scope stacks
-    // are thread-local) so counts attribute to the run that spawned us.
+    // Re-install the caller's recorder scope once per worker chunk (scope
+    // stacks are thread-local) so counts attribute to the run that spawned us.
     let scope = kcv_obs::scope();
     let (sq_sums, included) = (0..n)
         .into_par_iter()
-        .fold(
+        .fold_with_setup(
+            || scope.enter(),
             || (vec![0.0; k], vec![0usize; k]),
             |(mut sq, mut inc), i| {
-                let _in_scope = scope.enter();
                 accumulate_observation_ll(i, x, y, coeffs, radius, hs, &mut sq, &mut inc);
                 (sq, inc)
             },
@@ -308,10 +308,10 @@ pub fn cv_profile_merged_ll_par<K: PolynomialKernel + ?Sized>(
     let scope = kcv_obs::scope();
     let (sq_sums, included) = (0..n)
         .into_par_iter()
-        .fold(
+        .fold_with_setup(
+            || scope.enter(),
             || (vec![0.0; k], vec![0usize; k]),
             |(mut sq, mut inc), si| {
-                let _in_scope = scope.enter();
                 accumulate_observation_ll_merged(
                     si, xs, ys, coeffs, radius, hs, &mut sq, &mut inc,
                 );

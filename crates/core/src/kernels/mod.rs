@@ -80,6 +80,18 @@ pub trait PolynomialKernel: Kernel {
     }
 }
 
+impl<K: PolynomialKernel + ?Sized> PolynomialKernel for &K {
+    fn coeffs(&self) -> &'static [f64] {
+        (**self).coeffs()
+    }
+    fn radius(&self) -> f64 {
+        (**self).radius()
+    }
+    fn eval_poly(&self, u: f64) -> f64 {
+        (**self).eval_poly(u)
+    }
+}
+
 impl<K: Kernel + ?Sized> Kernel for &K {
     fn eval(&self, u: f64) -> f64 {
         (**self).eval(u)

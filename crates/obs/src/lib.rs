@@ -148,10 +148,33 @@ pub enum Counter {
     /// multivariate path's cost while its `KernelEvals` stays zero on the
     /// d ≤ 2 hot path — the contrast the multivariate perf gates assert.
     DimSweeps = 9,
+    /// Fenwick-tree node visits performed by the incremental CV engine
+    /// (`kcv-core::cv::incremental`): one increment per tree node touched
+    /// while folding an `insert`/`remove` into the moment tree (including
+    /// the amortised rebuild writes when the key pool compacts/doubles).
+    /// A point update touches `O(log n)` nodes, so over a stream of `U`
+    /// updates into a window of capacity `W` this stays within
+    /// `U·⌈log₂ W⌉·(deg+3)` — the budget perf gate 18 asserts.
+    TreeUpdates = 10,
+    /// Completed `reselect()` passes of the incremental CV engine: one
+    /// increment per full grid re-selection over the live window. The
+    /// sliding-window amortisation story is `reselects ≪ arrivals`; each
+    /// pass runs under a `cv.reselect` phase scope while updates run under
+    /// `cv.update`.
+    Reselects = 11,
+    /// Recorder-scope re-entries performed inside worker closures
+    /// ([`Scope::enter`]): the bookkeeping cost of propagating an installed
+    /// recorder across a parallel region. Under the vendored rayon's
+    /// `fold_with_setup` chunk hook each parallel strategy pays one entry
+    /// per worker *chunk* (at most `available_parallelism`) instead of one
+    /// per observation — the delta `BENCH_report.json` shows between a
+    /// parallel strategy and its sequential twin (whose count is zero: no
+    /// scope ever needs re-entering on the calling thread).
+    ScopeEnters = 12,
 }
 
 /// Number of counters (array sizing).
-const NUM_COUNTERS: usize = 10;
+const NUM_COUNTERS: usize = 13;
 
 impl Counter {
     /// Every counter, in serialisation order.
@@ -166,6 +189,9 @@ impl Counter {
         Counter::BinarySearchProbes,
         Counter::BagsRun,
         Counter::DimSweeps,
+        Counter::TreeUpdates,
+        Counter::Reselects,
+        Counter::ScopeEnters,
     ];
 
     /// The snake_case name used in snapshots and JSON.
@@ -181,6 +207,9 @@ impl Counter {
             Counter::BinarySearchProbes => "binary_search_probes",
             Counter::BagsRun => "bags_run",
             Counter::DimSweeps => "dim_sweeps",
+            Counter::TreeUpdates => "tree_updates",
+            Counter::Reselects => "reselects",
+            Counter::ScopeEnters => "scope_enters",
         }
     }
 }
@@ -455,7 +484,13 @@ mod imp {
         #[must_use = "the scope is active only while this guard is alive"]
         pub fn enter(&self) -> ScopeGuard {
             match &self.store {
-                Some(store) => push_scope(Arc::clone(store)),
+                Some(store) => {
+                    let guard = push_scope(Arc::clone(store));
+                    // Counted after installation so the increment lands in
+                    // the re-entered recorder itself.
+                    crate::add(crate::Counter::ScopeEnters, 1);
+                    guard
+                }
                 None => ScopeGuard { installed: false, _not_send: PhantomData },
             }
         }

@@ -163,6 +163,41 @@ impl<T: Send> ParIter<T> {
         ParIter { items: accs }
     }
 
+    /// [`fold`](Self::fold) with a per-chunk setup hook: each worker calls
+    /// `setup()` once before folding its chunk and holds the returned guard
+    /// for the chunk's whole lifetime (dropped after the last item).
+    ///
+    /// This is the per-chunk hook ROADMAP asks for: the kernelcv parallel CV
+    /// strategies use it to enter a `kcv_obs` scope once per chunk instead
+    /// of paying two thread-local operations plus an `Arc` clone per
+    /// observation. The guard type `G` needs no `Send` bound — it is created
+    /// and dropped on the worker thread that owns the chunk (RAII guards
+    /// like `kcv_obs::ScopeGuard` are deliberately `!Send`).
+    ///
+    /// Counter attribution is unchanged vs the per-item pattern: anything
+    /// recorded during `fold_op` lands in the scope the guard entered, so a
+    /// strategy's counters are identical whichever variant it uses.
+    pub fn fold_with_setup<A, G, S, ID, F>(
+        self,
+        setup: S,
+        identity: ID,
+        fold_op: F,
+    ) -> ParIter<A>
+    where
+        A: Send,
+        S: Fn() -> G + Sync + Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, T) -> A + Sync + Send,
+    {
+        let workers = worker_count(self.items.len());
+        let chunks = chunked(self.items, workers);
+        let accs = run_chunks(chunks, |chunk| {
+            let _guard = setup();
+            chunk.into_iter().fold(identity(), &fold_op)
+        });
+        ParIter { items: accs }
+    }
+
     /// Merges all items into one value starting from `identity()`.
     pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
     where
@@ -211,6 +246,36 @@ mod tests {
             .fold(|| 0usize, |acc, i| acc + i)
             .reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn fold_with_setup_runs_setup_once_per_chunk_and_matches_fold() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let setups = AtomicUsize::new(0);
+        let items = AtomicUsize::new(0);
+        struct Guard;
+        let total = (0..10_000usize)
+            .into_par_iter()
+            .fold_with_setup(
+                || {
+                    setups.fetch_add(1, Ordering::Relaxed);
+                    Guard
+                },
+                || 0usize,
+                |acc, i| {
+                    items.fetch_add(1, Ordering::Relaxed);
+                    acc + i
+                },
+            )
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+        assert_eq!(items.load(Ordering::Relaxed), 10_000);
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let setup_calls = setups.load(Ordering::Relaxed);
+        assert!(
+            setup_calls <= cores.min(10_000),
+            "setup ran {setup_calls} times for {cores} workers — not once per chunk"
+        );
     }
 
     #[test]
