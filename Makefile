@@ -5,11 +5,12 @@
 CARGO ?= cargo
 FLAGS ?= --offline
 
-.PHONY: verify build test test-metrics doc clippy perf-gate multi-smoke bench-report scaling streaming clean
+.PHONY: verify build test test-metrics doc clippy perf-gate multi-smoke bench-report scaling streaming serve clean
 
 ## The full PR gate: build, tests with metrics off AND on, docs, lints,
 ## the counter-based performance gate (including the streaming replay
-## gates 17-19), and the d = 2 multivariate smoke.
+## gates 17-19 and the sharded-serving gates 20-22), and the d = 2
+## multivariate smoke.
 verify: build test test-metrics doc clippy perf-gate multi-smoke
 	@echo "verify: all gates green"
 
@@ -47,12 +48,17 @@ clippy:
 ## evaluates the kernel zero times, keeps its window queries within
 ## grid_points·n·d·ceil(log2 n), and beats the naive product-kernel full
 ## grid by ≥ 10× wall time at the identical bandwidth vector — and
-## (schema v6) the streaming incremental-engine contract: the sliding-
+## the streaming incremental-engine contract: the sliding-
 ## window replay's report object is present, its re-selections evaluate
 ## the kernel zero times with Fenwick tree updates within
 ## (inserts+removes)·ceil(log2 W)·(deg+3), and the replay beats
 ## per-arrival recompute-from-scratch by ≥ 10× wall time at the
-## identical final bandwidth (see crates/bench/src/bin/perf_gate.rs).
+## identical final bandwidth — and (schema v7, gates 20-22) the sharded
+## serving contract: the report's serving object is present, the service
+## coalesces bursts and evaluates the kernel zero times service-wide,
+## and beats a global lock around one stream map by ≥ 4× wall time with
+## per-stream final bandwidths bit-identical
+## (see crates/bench/src/bin/perf_gate.rs).
 perf-gate:
 	$(CARGO) run $(FLAGS) --release -p kcv-bench --features metrics \
 		--bin perf_gate -- --n 2000 --k 100
@@ -79,6 +85,16 @@ scaling:
 ## writes results/streaming.csv (CI uploads it). Takes ~60 s in release.
 streaming:
 	$(CARGO) run $(FLAGS) --release -p kcv-bench --bin streaming
+
+## The sharded serving study (EXPERIMENTS.md SERVE): 256 concurrent
+## paper-DGP streams x 10^4 arrivals each through the 8-shard
+## kcv-serve front-end vs one global lock around a stream map. The
+## binary's own checks gate the run (>= 4x throughput, per-stream final
+## bandwidths bit-identical to sequential replay, lossless delivery,
+## zero kernel evals with bursts coalesced); writes results/serve.csv
+## (CI uploads it). Takes ~45 s in release.
+serve:
+	$(CARGO) run $(FLAGS) --release -p kcv-bench --features metrics --bin serve
 
 ## Regenerate results/BENCH_report.json with live counters (small n).
 bench-report:

@@ -14,6 +14,7 @@ use kcv_bench::table::{arg_parse, render};
 use kcv_core::grid::BandwidthGrid;
 use kcv_data::{Dgp, PaperDgp};
 use kcv_gpu::{select_bandwidth_gpu, GpuConfig};
+use kcv_gpu_sim::cost::fastest_timing;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,7 +54,8 @@ fn main() {
     }
     println!("{}", render(&headers, &rows));
 
-    let best = results.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
+    let timing: Vec<(usize, f64)> = results.iter().map(|r| (r.0, r.1)).collect();
+    let best = fastest_timing(&timing).expect("sweep non-empty");
     println!(
         "fastest block size: {} (paper, at n = 20 000: 512). The selected h is\n\
          identical at every block size — only the schedule changes.\n",

@@ -66,7 +66,21 @@
 //!     never a neighbour visit;
 //! 19. the streaming replay beats the per-arrival recompute-from-scratch
 //!     policy by ≥ 10× wall time while selecting the identical bandwidth
-//!     on the final window (the serialised values compare equal).
+//!     on the final window (the serialised values compare equal);
+//! 20. the schema-v7 top-level `serving` object is present — the two
+//!     service gates below read it, so a writer that stops measuring the
+//!     sharded service must fail here, not pass by absence;
+//! 21. the sharded service answers every stream from the incremental
+//!     engine — **zero** kernel evaluations service-wide — while its
+//!     workers actually drained requests and coalesced bursts
+//!     (`requests_served > 0`, `coalesced_arrivals > 0`): a service that
+//!     quietly re-selects per arrival (nothing to coalesce) or recomputes
+//!     profiles from scratch (kernel evals) fails;
+//! 22. at `n ≥ 2,000` the sharded service beats the single-global-lock
+//!     baseline by ≥ 4× wall time on the identical per-stream traffic
+//!     while the serialised per-stream `final_bandwidths` arrays compare
+//!     bit-identical — the conflated re-selections must cost throughput
+//!     nothing in selection quality.
 //!
 //! Exits non-zero if any gate fails, printing each gate's verdict and then
 //! naming the failures, so `make verify` and CI fail if a regression
@@ -316,12 +330,17 @@ fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
         ));
     }
 
-    // --- streaming incremental-engine contracts (this PR) ----------------
+    // --- streaming incremental-engine contracts (PR 9) -------------------
     // The replay measurements live in the schema-v6 top-level `streaming`
-    // object, which is the report's final entry, so a slice from its key
-    // to the end of the document contains exactly its fields.
+    // object. Since v7 it is no longer the report's final entry — the
+    // `serving` object follows it and shares field names (`window`,
+    // `cadence`, `reselects`, `kernel_evals`, `wall_seconds`), so the
+    // slice must stop at the `serving` key, not the end of the document.
     let streaming = match json.find("\"streaming\":{") {
-        Some(i) => &json[i..],
+        Some(i) => {
+            let end = json[i..].find("\"serving\":").map_or(json.len(), |j| i + j);
+            &json[i..end]
+        }
         None => {
             gates.push(Gate::pass_if(
                 "report carries the schema-v6 streaming object",
@@ -363,6 +382,61 @@ fn evaluate_gates(json: &str, n: usize, k: usize) -> Vec<Gate> {
         st_ratio >= 10.0 && fb.is_some() && fb == rb,
         format!("wall ratio {st_ratio:.1} >= 10, final {fb:?} == recompute {rb:?}"),
     ));
+
+    // --- sharded serving contracts (this PR) -----------------------------
+    // The service measurements live in the schema-v7 top-level `serving`
+    // object, the report's final entry.
+    let serving = match json.find("\"serving\":{") {
+        Some(i) => &json[i..],
+        None => {
+            gates.push(Gate::pass_if(
+                "report carries the schema-v7 serving object",
+                false,
+                "no serving object in the report".into(),
+            ));
+            return gates;
+        }
+    };
+    gates.push(Gate::pass_if(
+        "report carries the schema-v7 serving object",
+        true,
+        "sharded service measured".into(),
+    ));
+
+    let sv = |key: &str| u64_field(serving, key).unwrap_or(0);
+    let sv_evals = sv("kernel_evals");
+    let sv_served = sv("requests_served");
+    let sv_coalesced = sv("coalesced_arrivals");
+    gates.push(Gate::pass_if(
+        "serving: zero kernel evals service-wide, bursts coalesced",
+        sv_evals == 0 && sv_served > 0 && sv_coalesced > 0,
+        format!(
+            "kernel_evals {sv_evals} == 0, requests_served {sv_served} > 0, \
+             coalesced_arrivals {sv_coalesced} > 0"
+        ),
+    ));
+
+    let sv_bw = array_field(serving, "final_bandwidths");
+    let lk_bw = array_field(serving, "lock_final_bandwidths");
+    if n >= 2_000 {
+        let sv_ratio = match (
+            f64_field(serving, "lock_wall_seconds"),
+            f64_field(serving, "wall_seconds"),
+        ) {
+            (Some(lw), Some(sw)) if sw > 0.0 => lw / sw,
+            _ => 0.0,
+        };
+        gates.push(Gate::pass_if(
+            "sharded service beats the global lock >= 4x at identical bandwidths",
+            sv_ratio >= 4.0 && sv_bw.is_some() && sv_bw == lk_bw,
+            format!("wall ratio {sv_ratio:.1} >= 4, bandwidths {sv_bw:?} == {lk_bw:?}"),
+        ));
+    } else {
+        gates.push(Gate::skip(
+            "sharded service beats the global lock >= 4x at identical bandwidths",
+            format!("ratio asserted only at n >= 2,000 (n = {n})"),
+        ));
+    }
 
     gates
 }
@@ -430,7 +504,7 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "{\"version\":6,\"metrics_enabled\":true,\"strategies\":[\
+    const SAMPLE: &str = "{\"version\":7,\"metrics_enabled\":true,\"strategies\":[\
         {\"name\":\"sorted\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
         \"kernel_evals\":90,\"sort_comparisons\":400000}}},\
         {\"name\":\"merged\",\"bandwidth\":0.125000,\"obs\":{\"counters\":{\
@@ -458,7 +532,15 @@ mod tests {
         \"inserts\":2000,\"removes\":1500,\"reselects\":32,\
         \"tree_updates\":104000,\"kernel_evals\":0,\
         \"final_bandwidth\":0.052341000000,\"recompute_bandwidth\":0.052341000000,\
-        \"wall_seconds\":0.011000000,\"recompute_wall_seconds\":0.420000000}}";
+        \"wall_seconds\":0.011000000,\"recompute_wall_seconds\":0.420000000},\
+        \"serving\":{\"streams\":8,\"arrivals_per_stream\":2000,\"shards\":4,\
+        \"window\":256,\"cadence\":50,\"requests_served\":16008,\
+        \"coalesced_arrivals\":15200,\"queue_high_water\":812,\
+        \"shed_requests\":0,\"reselects\":24,\"lock_reselects\":328,\
+        \"kernel_evals\":0,\"wall_seconds\":0.081000000,\
+        \"lock_wall_seconds\":0.840000000,\
+        \"final_bandwidths\":[0.052000000000,0.053000000000],\
+        \"lock_final_bandwidths\":[0.052000000000,0.053000000000]}}";
 
     #[test]
     fn strategy_slice_isolates_one_entry() {
@@ -498,9 +580,10 @@ mod tests {
         // Multi-fast (g = 100, d = 2): query ceiling 100·2,000·2·11 =
         // 4,400,000; wall ratio 1.5/0.05 = 30×. Streaming (W = 500):
         // update ceiling (2,000 + 1,500)·9·5 = 157,500; wall ratio
-        // 0.42/0.011 = 38×.
+        // 0.42/0.011 = 38×. Serving: wall ratio 0.84/0.081 = 10.4×,
+        // identical bandwidth arrays.
         let gates = evaluate_gates(SAMPLE, 2_000, 100);
-        assert_eq!(gates.len(), 19);
+        assert_eq!(gates.len(), 22);
         assert!(gates.iter().all(|g| g.ok == Some(true)), "{:?}", fails(&gates));
     }
 
@@ -631,7 +714,7 @@ mod tests {
 
     #[test]
     fn version_gate_catches_a_stale_writer() {
-        let bad = SAMPLE.replace("\"version\":6", "\"version\":5");
+        let bad = SAMPLE.replace("\"version\":7", "\"version\":6");
         let gates = evaluate_gates(&bad, 2_000, 100);
         assert_eq!(fails(&gates), vec!["report schema version matches the gate's"]);
     }
@@ -771,6 +854,93 @@ mod tests {
             fails(&gates),
             vec!["streaming replay beats per-arrival recompute >= 10x, identical bandwidth"]
         );
+    }
+
+    #[test]
+    fn serving_gate_catches_a_missing_object() {
+        // A writer that stops measuring the sharded service (v6 tail) must
+        // fail gate 20 explicitly, not let gates 21–22 pass by absence.
+        let end = SAMPLE.find(",\"serving\":{").unwrap();
+        let bad = format!("{}}}", &SAMPLE[..end]);
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(fails(&gates), vec!["report carries the schema-v7 serving object"]);
+    }
+
+    #[test]
+    fn serving_gate_catches_a_kernel_evaluating_service() {
+        let bad = SAMPLE.replace(
+            "\"kernel_evals\":0,\"wall_seconds\":0.081000000",
+            "\"kernel_evals\":7,\"wall_seconds\":0.081000000",
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["serving: zero kernel evals service-wide, bursts coalesced"]
+        );
+    }
+
+    #[test]
+    fn serving_gate_refuses_an_uncoalesced_run() {
+        // A worker that re-selects per arrival never merges a burst:
+        // coalesced_arrivals == 0 must not pass by vacuity.
+        let bad =
+            SAMPLE.replace("\"coalesced_arrivals\":15200", "\"coalesced_arrivals\":0");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["serving: zero kernel evals service-wide, bursts coalesced"]
+        );
+    }
+
+    #[test]
+    fn serving_speedup_gate_catches_a_slow_service() {
+        // Ratio 0.84/0.5 = 1.7× is far under the required 4×.
+        let bad =
+            SAMPLE.replace("\"wall_seconds\":0.081000000", "\"wall_seconds\":0.500000000");
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["sharded service beats the global lock >= 4x at identical bandwidths"]
+        );
+    }
+
+    #[test]
+    fn serving_speedup_gate_catches_a_bandwidth_divergence() {
+        // Conflation must not change any stream's final selection: one
+        // component drifting in the baseline's array fails the identity.
+        let bad = SAMPLE.replace(
+            "\"lock_final_bandwidths\":[0.052000000000,0.053000000000]",
+            "\"lock_final_bandwidths\":[0.052000000000,0.054000000000]",
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        assert_eq!(
+            fails(&gates),
+            vec!["sharded service beats the global lock >= 4x at identical bandwidths"]
+        );
+    }
+
+    #[test]
+    fn serving_speedup_gate_skips_below_two_thousand() {
+        let gates = evaluate_gates(SAMPLE, 1_000, 100);
+        let gate = gates.iter().find(|g| g.name.contains(">= 4x")).unwrap();
+        assert_eq!(gate.ok, None);
+        assert_eq!(fails(&gates), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn streaming_slice_stops_at_the_serving_boundary() {
+        // The two objects share field names; corrupting serving's
+        // `kernel_evals` must trip the serving gate, never the streaming
+        // one (which would prove the streaming slice leaked across).
+        let bad = SAMPLE.replace(
+            "\"kernel_evals\":0,\"wall_seconds\":0.081000000",
+            "\"kernel_evals\":9,\"wall_seconds\":0.081000000",
+        );
+        let gates = evaluate_gates(&bad, 2_000, 100);
+        let failed = fails(&gates);
+        assert!(!failed
+            .contains(&"streaming replay: zero kernel evals, tree updates O(log W)"));
+        assert!(failed.contains(&"serving: zero kernel evals service-wide, bursts coalesced"));
     }
 
     #[test]

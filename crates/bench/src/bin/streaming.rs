@@ -141,7 +141,13 @@ fn main() -> ExitCode {
     for &cadence in &cadences {
         eprintln!("streaming: replay at cadence {cadence}…");
         let mut sel =
-            SlidingWindowSelector::new(Epanechnikov, grid.clone(), window, cadence);
+            match SlidingWindowSelector::new(Epanechnikov, grid.clone(), window, cadence) {
+                Ok(sel) => sel,
+                Err(e) => {
+                    eprintln!("streaming: bad window/cadence configuration: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
         let mut reselects = 0usize;
         let start = Instant::now();
         for (&xi, &yi) in s.x.iter().zip(&s.y) {

@@ -242,7 +242,8 @@ pub fn run_program(
             // `domain/k` floor once the window grows large.
             let grid = BandwidthGrid::log(domain * 1e-3, domain * 0.3, k)
                 .map_err(|e| e.to_string())?;
-            let mut sel = SlidingWindowSelector::new(Epanechnikov, grid, window, 64);
+            let mut sel = SlidingWindowSelector::new(Epanechnikov, grid, window, 64)
+                .map_err(|e| e.to_string())?;
             for (&xi, &yi) in x.iter().zip(y) {
                 sel.push(xi, yi).map_err(|e| e.to_string())?;
             }

@@ -255,6 +255,12 @@ impl<K: PolynomialKernel> IncrementalSelector<K> {
     /// Inserts one observation in `O(log n)`: a Fenwick point update when
     /// `x` is already pooled, otherwise an append to the pending run
     /// (folded into the pool amortised-`O(1)`; see the module docs).
+    ///
+    /// Non-finite `x` or `y` is rejected with [`Error::NonFiniteData`]
+    /// **before** any tree mutation: a failed `insert` leaves the selector
+    /// state (pool, pending run, live count, every compensated moment)
+    /// exactly as it was, so a stream may drop the bad arrival and
+    /// continue.
     pub fn insert(&mut self, x: f64, y: f64) -> Result<()> {
         if !x.is_finite() {
             return Err(Error::NonFiniteData { which: "x", index: 0 });
@@ -583,19 +589,32 @@ impl<K: PolynomialKernel> SlidingWindowSelector<K> {
     /// Creates an empty window of `capacity` observations re-selecting
     /// every `cadence` arrivals.
     ///
-    /// # Panics
-    /// If `capacity < 2` or `cadence == 0`.
-    pub fn new(kernel: K, grid: BandwidthGrid, capacity: usize, cadence: usize) -> Self {
-        assert!(capacity >= 2, "window capacity must be at least 2");
-        assert!(cadence > 0, "re-selection cadence must be positive");
-        Self {
+    /// # Errors
+    /// [`Error::InvalidParameter`] if `capacity < 2` (a window must be able
+    /// to hold the two observations cross-validation needs) or
+    /// `cadence == 0` (the cadence counts arrivals between re-selections,
+    /// so zero would demand a re-selection before any arrival exists).
+    pub fn new(kernel: K, grid: BandwidthGrid, capacity: usize, cadence: usize) -> Result<Self> {
+        if capacity < 2 {
+            return Err(Error::InvalidParameter {
+                name: "capacity",
+                requirement: "at least 2 (cross-validation needs two observations)",
+            });
+        }
+        if cadence == 0 {
+            return Err(Error::InvalidParameter {
+                name: "cadence",
+                requirement: "positive (arrivals between re-selections)",
+            });
+        }
+        Ok(Self {
             inner: IncrementalSelector::new(kernel, grid),
             window: VecDeque::with_capacity(capacity),
             capacity,
             cadence,
             since_reselect: 0,
             last: None,
-        }
+        })
     }
 
     /// Sets the moment-centring shift (see
@@ -615,6 +634,21 @@ impl<K: PolynomialKernel> SlidingWindowSelector<K> {
         self.window.is_empty()
     }
 
+    /// The window capacity `W` fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The re-selection cadence fixed at construction.
+    pub fn cadence(&self) -> usize {
+        self.cadence
+    }
+
+    /// Arrivals applied since the last re-selection (the cadence clock).
+    pub fn since_reselect(&self) -> usize {
+        self.since_reselect
+    }
+
     /// The optimum from the most recent re-selection, if any has run.
     pub fn current(&self) -> Option<CvOptimum> {
         self.last
@@ -623,7 +657,35 @@ impl<K: PolynomialKernel> SlidingWindowSelector<K> {
     /// Pushes one arrival: evict-oldest if at capacity, insert, and
     /// re-select when the cadence fires. Returns the fresh optimum on
     /// re-selection turns, `None` otherwise.
+    ///
+    /// The arrival is validated **before** the oldest observation is
+    /// evicted, so a failed `push` (non-finite `x`/`y`,
+    /// [`Error::NonFiniteData`]) leaves the window and the underlying
+    /// selector exactly as they were — the stream may discard the bad
+    /// arrival and keep going, and the next cadence re-selection scores
+    /// the intact surviving window.
     pub fn push(&mut self, x: f64, y: f64) -> Result<Option<CvOptimum>> {
+        if self.push_deferred(x, y)? {
+            return self.reselect_now().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// [`push`](Self::push) without the re-selection: applies the arrival
+    /// (same validation, eviction, and cadence clock) and returns whether
+    /// the cadence is now due — i.e. whether `push` would have re-selected
+    /// on this arrival. Callers that batch arrivals (the `kcv-serve`
+    /// shards) apply a burst through this method and then run one
+    /// [`reselect_now`](Self::reselect_now) for the whole burst; calling
+    /// `reselect_now` exactly when this returns `true` reproduces `push`'s
+    /// behaviour operation-for-operation.
+    pub fn push_deferred(&mut self, x: f64, y: f64) -> Result<bool> {
+        if !x.is_finite() {
+            return Err(Error::NonFiniteData { which: "x", index: 0 });
+        }
+        if !y.is_finite() {
+            return Err(Error::NonFiniteData { which: "y", index: 0 });
+        }
         if self.window.len() == self.capacity {
             let (ox, oy) = self.window.pop_front().expect("window at capacity");
             let evicted = self.inner.remove(ox, oy);
@@ -632,10 +694,7 @@ impl<K: PolynomialKernel> SlidingWindowSelector<K> {
         self.inner.insert(x, y)?;
         self.window.push_back((x, y));
         self.since_reselect += 1;
-        if self.since_reselect >= self.cadence && self.window.len() >= 2 {
-            return self.reselect_now().map(Some);
-        }
-        Ok(None)
+        Ok(self.since_reselect >= self.cadence && self.window.len() >= 2)
     }
 
     /// Forces a re-selection immediately (also resets the cadence clock).
@@ -808,7 +867,7 @@ mod tests {
         let (x, y) = paper_dgp(600, 36);
         let grid = BandwidthGrid::log(0.01, 0.5, 20).unwrap();
         let mut win =
-            SlidingWindowSelector::new(Epanechnikov, grid.clone(), 200, 50);
+            SlidingWindowSelector::new(Epanechnikov, grid.clone(), 200, 50).unwrap();
         let mut fired = 0usize;
         for (&xi, &yi) in x.iter().zip(&y) {
             if win.push(xi, yi).unwrap().is_some() {
@@ -829,6 +888,74 @@ mod tests {
         let cur = win.current().unwrap();
         assert_eq!(cur.bandwidth.to_bits(), fresh.bandwidth.to_bits());
         assert_eq!(cur.included, fresh.included);
+    }
+
+    #[test]
+    fn zero_capacity_or_cadence_is_rejected_at_construction() {
+        let grid = BandwidthGrid::log(0.01, 0.5, 5).unwrap();
+        for cap in [0usize, 1] {
+            assert!(matches!(
+                SlidingWindowSelector::new(Epanechnikov, grid.clone(), cap, 10),
+                Err(Error::InvalidParameter { name: "capacity", .. })
+            ));
+        }
+        assert!(matches!(
+            SlidingWindowSelector::new(Epanechnikov, grid.clone(), 10, 0),
+            Err(Error::InvalidParameter { name: "cadence", .. })
+        ));
+        assert!(SlidingWindowSelector::new(Epanechnikov, grid, 2, 1).is_ok());
+    }
+
+    #[test]
+    fn failed_push_leaves_the_window_untouched() {
+        // A NaN arrival mid-stream must error cleanly *without* evicting
+        // the oldest observation: the next cadence re-selection still
+        // matches a fresh prefix run over the intact surviving window.
+        let (x, y) = paper_dgp(260, 38);
+        let grid = BandwidthGrid::log(0.01, 0.5, 20).unwrap();
+        let mut win =
+            SlidingWindowSelector::new(Epanechnikov, grid.clone(), 100, 40).unwrap();
+        for (&xi, &yi) in x.iter().zip(&y).take(250) {
+            win.push(xi, yi).unwrap();
+        }
+        assert_eq!(win.len(), 100);
+        assert!(matches!(
+            win.push(f64::NAN, 1.0),
+            Err(Error::NonFiniteData { which: "x", .. })
+        ));
+        assert!(matches!(
+            win.push(0.5, f64::INFINITY),
+            Err(Error::NonFiniteData { which: "y", .. })
+        ));
+        assert_eq!(win.len(), 100, "failed pushes must not evict");
+        for (&xi, &yi) in x.iter().zip(&y).skip(250) {
+            win.push(xi, yi).unwrap();
+        }
+        let opt = win.reselect_now().unwrap();
+        // Surviving window: the last 100 good arrivals, bad ones dropped.
+        let lx = &x[160..];
+        let ly = &y[160..];
+        let fresh = cv_profile_prefix(lx, ly, &grid, &Epanechnikov)
+            .unwrap()
+            .argmin()
+            .unwrap();
+        assert_eq!(opt.bandwidth.to_bits(), fresh.bandwidth.to_bits());
+        assert_eq!(opt.included, fresh.included);
+    }
+
+    #[test]
+    fn push_deferred_with_due_reselects_reproduces_push() {
+        let (x, y) = paper_dgp(300, 39);
+        let grid = BandwidthGrid::log(0.01, 0.5, 15).unwrap();
+        let mut a = SlidingWindowSelector::new(Epanechnikov, grid.clone(), 80, 30).unwrap();
+        let mut b = SlidingWindowSelector::new(Epanechnikov, grid, 80, 30).unwrap();
+        for (&xi, &yi) in x.iter().zip(&y) {
+            let via_push = a.push(xi, yi).unwrap();
+            let due = b.push_deferred(xi, yi).unwrap();
+            let via_deferred = if due { Some(b.reselect_now().unwrap()) } else { None };
+            assert_eq!(via_push, via_deferred);
+        }
+        assert_eq!(a.current(), b.current());
     }
 
     #[cfg(feature = "metrics")]

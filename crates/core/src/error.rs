@@ -47,6 +47,14 @@ pub enum Error {
         /// Found dimension.
         found: usize,
     },
+    /// A constructor or configuration parameter was out of its documented
+    /// range (e.g. a zero window capacity or re-selection cadence).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The requirement it violated.
+        requirement: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -76,6 +84,9 @@ impl fmt::Display for Error {
             }
             Error::DimensionMismatch { expected, found } => {
                 write!(f, "expected dimension {expected}, found {found}")
+            }
+            Error::InvalidParameter { name, requirement } => {
+                write!(f, "invalid parameter {name}: must be {requirement}")
             }
         }
     }
@@ -171,6 +182,7 @@ mod tests {
             Error::OptimiserDiverged { iterations: 100 },
             Error::DegenerateDomain,
             Error::DimensionMismatch { expected: 2, found: 3 },
+            Error::InvalidParameter { name: "capacity", requirement: "at least 2" },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

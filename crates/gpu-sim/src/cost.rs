@@ -8,6 +8,7 @@
 //! traffic, warp lockstep, core count) without simulating pipelines.
 
 use crate::device::DeviceSpec;
+use crate::error::{Result, SimError};
 
 /// Cycle costs per operation class (loosely Tesla-era figures).
 #[derive(Debug, Clone, PartialEq)]
@@ -232,6 +233,22 @@ pub fn aggregate_cycles(
     busiest / spec.occupancy_efficiency(threads_per_block)
 }
 
+/// The fastest entry of a `(threads_per_block, simulated_time)` tuning
+/// table: minimal time, ties resolved to the **larger** block size (the
+/// paper's §IV-B preference for "the maximum possible on the GPU being
+/// used").
+///
+/// # Errors
+/// [`SimError::InvalidLaunch`] when the table is empty — callers sweeping a
+/// configurable block-size list must not assume it is populated.
+pub fn fastest_timing(times: &[(usize, f64)]) -> Result<(usize, f64)> {
+    times
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+        .ok_or_else(|| SimError::InvalidLaunch("empty block-size timing table".into()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,7 +337,8 @@ mod tests {
             .iter()
             .map(|&tpb| (tpb, aggregate_cycles(&cycles, tpb, &spec)))
             .collect();
-        let t512 = times.last().unwrap().1;
+        let (best_tpb, t512) = fastest_timing(&times).expect("non-empty sweep");
+        assert_eq!(best_tpb, 512, "fastest block size should be 512: {times:?}");
         for &(tpb, t) in &times {
             assert!(t512 <= t + 1e-9, "512 should be no slower than {tpb}: {times:?}");
         }
@@ -335,6 +353,15 @@ mod tests {
     #[test]
     fn empty_launch_costs_nothing() {
         assert_eq!(aggregate_cycles(&[], 32, &DeviceSpec::tesla_s10()), 0.0);
+    }
+
+    #[test]
+    fn fastest_timing_rejects_an_empty_table_and_breaks_ties_upward() {
+        assert!(matches!(fastest_timing(&[]), Err(SimError::InvalidLaunch(_))));
+        // Exact tie between 128 and 512: the paper's "maximum possible"
+        // preference picks the larger block size.
+        let tied = [(64usize, 3.0), (128, 1.0), (512, 1.0)];
+        assert_eq!(fastest_timing(&tied).unwrap(), (512, 1.0));
     }
 
     #[test]

@@ -171,10 +171,29 @@ pub enum Counter {
     /// parallel strategy and its sequential twin (whose count is zero: no
     /// scope ever needs re-entering on the calling thread).
     ScopeEnters = 12,
+    /// Requests processed by the multi-stream bandwidth service
+    /// (`kcv-serve`): one increment per queue entry a shard worker drained
+    /// and executed — stream opens, arrivals, and closes alike.
+    RequestsServed = 13,
+    /// Arrivals the service applied as part of a same-stream burst beyond
+    /// the first (`burst_len − 1` per coalesced burst): each one rode an
+    /// already-drained batch instead of paying its own wakeup, and bursts
+    /// that cross re-selection boundaries fund the conflated single
+    /// `reselect()` the serving perf gates assert.
+    CoalescedArrivals = 14,
+    /// High-water mark of a shard's bounded request queue (maximum queued
+    /// entries observed). **Max-semantics**: recorded via [`record_max`],
+    /// so across shards the meaningful aggregate is the maximum, not the
+    /// sum — `kcv-serve` merges shard snapshots accordingly.
+    QueueHighWater = 15,
+    /// Requests rejected with `Overloaded` because a shard's bounded queue
+    /// was full — the backpressure contract's visible cost (shed load
+    /// instead of unbounded buffering).
+    ShedRequests = 16,
 }
 
 /// Number of counters (array sizing).
-const NUM_COUNTERS: usize = 13;
+const NUM_COUNTERS: usize = 17;
 
 impl Counter {
     /// Every counter, in serialisation order.
@@ -192,6 +211,10 @@ impl Counter {
         Counter::TreeUpdates,
         Counter::Reselects,
         Counter::ScopeEnters,
+        Counter::RequestsServed,
+        Counter::CoalescedArrivals,
+        Counter::QueueHighWater,
+        Counter::ShedRequests,
     ];
 
     /// The snake_case name used in snapshots and JSON.
@@ -210,6 +233,10 @@ impl Counter {
             Counter::TreeUpdates => "tree_updates",
             Counter::Reselects => "reselects",
             Counter::ScopeEnters => "scope_enters",
+            Counter::RequestsServed => "requests_served",
+            Counter::CoalescedArrivals => "coalesced_arrivals",
+            Counter::QueueHighWater => "queue_high_water",
+            Counter::ShedRequests => "shed_requests",
         }
     }
 }
@@ -337,6 +364,11 @@ mod imp {
         #[inline]
         fn add(&self, counter: Counter, n: u64) {
             self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+
+        #[inline]
+        fn max(&self, counter: Counter, v: u64) {
+            self.counters[counter as usize].fetch_max(v, Ordering::Relaxed);
         }
 
         #[inline]
@@ -512,6 +544,16 @@ mod imp {
     }
 
     #[inline]
+    pub fn record_max(counter: Counter, v: u64) {
+        if v > 0 {
+            global().max(counter, v);
+            if let Some(r) = current() {
+                r.max(counter, v);
+            }
+        }
+    }
+
+    #[inline]
     pub fn get(counter: Counter) -> u64 {
         global().get(counter)
     }
@@ -594,6 +636,9 @@ mod imp {
 
     #[inline(always)]
     pub fn add(_counter: Counter, _n: u64) {}
+
+    #[inline(always)]
+    pub fn record_max(_counter: Counter, _v: u64) {}
 
     #[inline(always)]
     pub fn get(_counter: Counter) -> u64 {
@@ -725,6 +770,16 @@ pub use imp::ScopeGuard;
 #[inline(always)]
 pub fn add(counter: Counter, n: u64) {
     imp::add(counter, n);
+}
+
+/// Raises a **max-semantics** counter (e.g. [`Counter::QueueHighWater`]) to
+/// at least `v`: the innermost installed [`Recorder`] on this thread (if
+/// any) and the global aggregate both take `max(current, v)` instead of
+/// adding. Such counters aggregate across recorders by maximum, not sum. A
+/// no-op without the `metrics` feature.
+#[inline(always)]
+pub fn record_max(counter: Counter, v: u64) {
+    imp::record_max(counter, v);
 }
 
 /// Current value of a counter in the **global aggregate** (always `0`

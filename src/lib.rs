@@ -11,7 +11,9 @@
 //!   simulator;
 //! * [`np`] (`kcv-np`) — the R-`np`-style numerical-optimisation baseline;
 //! * [`data`] (`kcv-data`) — synthetic DGPs (including the paper's) and
-//!   CSV I/O.
+//!   CSV I/O;
+//! * [`serve`] (`kcv-serve`) — the sharded multi-stream serving front-end
+//!   over the incremental sliding-window engine.
 //!
 //! ```
 //! use kernelcv::prelude::*;
@@ -30,6 +32,7 @@ pub use kcv_data as data;
 pub use kcv_gpu as gpu;
 pub use kcv_gpu_sim as gpu_sim;
 pub use kcv_np as np;
+pub use kcv_serve as serve;
 
 /// The core prelude plus the most-used items of the other member crates.
 pub mod prelude {
@@ -37,4 +40,5 @@ pub mod prelude {
     pub use kcv_data::{Dgp, PaperDgp, Sample};
     pub use kcv_gpu::{select_bandwidth_gpu, GpuConfig};
     pub use kcv_np::{npreg, npregbw, NpRegBwOptions};
+    pub use kcv_serve::{BandwidthService, ServeConfig};
 }
